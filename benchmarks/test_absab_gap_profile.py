@@ -1,0 +1,96 @@
+"""§4.2: the ABSAB bias as a function of the gap, and the g <= 128 cap.
+
+Paper: the ABSAB bias was empirically confirmed up to gaps of at least
+135; eq 1 slightly underestimates the true strength; attacks cap the gap
+at 128 because the bias decays as e^{-8g/256}.
+
+Reproduction: digraph-repetition match rates at a grid of gaps, pooled
+over positions/keys, with the model overlay; plus the *ablation* that
+justifies the cap: the modelled per-alignment information at g = 128 is
+~1/55 of g = 0.
+"""
+
+import numpy as np
+import pytest
+
+from repro.biases import absab_alpha, absab_relative_bias
+from repro.rc4.batch import BatchRC4
+from repro.rc4.keygen import derive_keys
+from repro.utils.tables import format_table
+
+from _shared import z_score
+
+GAPS = [0, 1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def _match_counts(config, num_keys, stream_len, chunk=1 << 11):
+    matches = np.zeros(len(GAPS), dtype=np.int64)
+    trials = np.zeros(len(GAPS), dtype=np.int64)
+    remaining = num_keys
+    part = 0
+    while remaining > 0:
+        take = min(chunk, remaining)
+        keys = derive_keys(config, f"absab-profile/{part}", take)
+        batch = BatchRC4(keys)
+        batch.skip(1023)
+        rows = batch.keystream_rows(stream_len).astype(np.int32)
+        digraphs = (rows[:-1] << 8) | rows[1:]
+        for idx, gap in enumerate(GAPS):
+            a = digraphs[: -(gap + 2)]
+            b = digraphs[gap + 2 :]
+            matches[idx] += int((a == b).sum())
+            trials[idx] += a.size
+        remaining -= take
+        part += 1
+    return matches, trials
+
+
+@pytest.mark.figure
+def test_absab_gap_profile(benchmark, config):
+    num_keys = config.scaled(1 << 11, maximum=1 << 15)
+    stream_len = config.scaled(1 << 12, maximum=1 << 15)
+
+    matches, trials = benchmark.pedantic(
+        lambda: _match_counts(config, num_keys, stream_len),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    pooled_z = 0.0
+    for idx, gap in enumerate(GAPS):
+        alpha = absab_alpha(gap)
+        measured = matches[idx] / trials[idx]
+        z_u = z_score(int(matches[idx]), int(trials[idx]), 2.0**-16)
+        pooled_z += z_u
+        rows.append(
+            (
+                gap,
+                f"{alpha * 2**16:.5f}",
+                f"{measured * 2**16:.5f}",
+                f"{z_u:+.2f}",
+            )
+        )
+    pooled_z /= np.sqrt(len(GAPS))
+    print()
+    print(
+        format_table(
+            ["gap g", "model 2^16*alpha(g)", "measured 2^16*p", "z vs uniform"],
+            rows,
+            title=(
+                f"§4.2 ABSAB gap profile: {int(trials[0]):,} digraph pairs "
+                f"per gap (uniform = 1.0)"
+            ),
+        )
+    )
+    print(f"pooled z across gaps: {pooled_z:+.2f} "
+          "(per-gap separation needs ~2^36 pairs)")
+
+    # Ablation: why the attacks cap at g = 128 — the modelled relative
+    # bias (hence per-alignment information) decays e^{-8g/256}.
+    ratio = absab_relative_bias(128) / absab_relative_bias(0)
+    print(f"ablation: relative bias at g=128 is {ratio:.4f} of g=0 "
+          f"(information ratio ~{ratio**2:.5f}); alignments beyond 128 "
+          "contribute negligibly.")
+    assert ratio < 0.02
+    assert pooled_z > -3.0

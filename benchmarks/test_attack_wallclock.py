@@ -1,0 +1,62 @@
+"""§5.4 / §6.3: the wall-clock arithmetic behind the headline claims.
+
+Paper numbers:
+- TKIP: ~2500 injected packets/s; 9.5 x 2^20 captures in about an hour;
+  one capture of 6.2 x 2^27 sufficed in the live TLS run after 52 h.
+- TLS: ~4450 requests/s idle (4100 busy); 9 x 2^27 ciphertexts in ~75 h;
+  >20000 brute-force tests/s so all 2^23 candidates take < 7 minutes.
+
+Reproduction: the same arithmetic from the same rate constants, plus a
+measured throughput for this library's brute-force oracle loop.
+"""
+
+import pytest
+
+from repro.simulate import tkip_timeline, tls_timeline
+from repro.tls import BruteForceOracle, PAPER_REQUEST_RATE_BUSY
+from repro.utils.tables import format_table
+
+
+@pytest.mark.table
+def test_wallclock_arithmetic(benchmark):
+    def run():
+        return tkip_timeline(), tls_timeline(), tls_timeline(int(6.2 * 2**27))
+
+    tkip, tls, tls_lucky = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["claim", "paper", "reproduced"],
+            [
+                ("TKIP capture (9.5 x 2^20 pkts)", "~1 hour", f"{tkip.capture_hours:.2f} h"),
+                ("TLS capture (9 x 2^27 reqs)", "75 hours", f"{tls.capture_hours:.1f} h"),
+                ("TLS capture, lucky run (6.2 x 2^27)", "52 hours", f"{tls_lucky.capture_hours:.1f} h"),
+                ("brute force 2^23 candidates", "< 7 min", f"{tls.search_seconds / 60:.1f} min"),
+            ],
+            title="§5.4 / §6.3 wall-clock arithmetic",
+        )
+    )
+    busy = tls_timeline(9 * 2**27, request_rate=PAPER_REQUEST_RATE_BUSY)
+    print(f"busy-browser variant (4100 req/s): {busy.capture_hours:.1f} h")
+
+    assert 1.0 < tkip.capture_hours < 1.25
+    assert 74.0 < tls.capture_hours < 77.0
+    assert 51.0 < tls_lucky.capture_hours < 53.0
+    assert tls.search_seconds < 7 * 60
+
+
+@pytest.mark.table
+def test_bruteforce_oracle_throughput(benchmark):
+    """The paper's tool tested >20000 cookies/s; measure this library's
+    oracle loop (a pure-Python stand-in for the pipelined HTTP tester)."""
+    secret = b"Xj9#qL2mPw!aZr7v"
+    candidates = [bytes([i % 256]) * 16 for i in range(20000)] + [secret]
+    oracle = BruteForceOracle(secret)
+
+    def run():
+        oracle.attempts = 0
+        found, attempts = oracle.search(iter(candidates))
+        return attempts
+
+    attempts = benchmark(run)
+    assert attempts == len(candidates)

@@ -1,0 +1,102 @@
+"""Figure 8: TKIP MIC-key recovery success rate vs captured ciphertexts.
+
+Paper: success of obtaining the MIC key using a ~2^30-candidate list vs
+using only the two best candidates, over 1..15 x 2^20 captures (256
+simulations per point).  The candidate list dominates top-2 everywhere.
+
+Reproduction: identical pipeline over a scaled TSC subspace and capture
+counts (sampled sufficient statistics; DESIGN.md).  Shape requirements:
+success non-decreasing in captures, and candidate list >= top-2 at every
+point.
+"""
+
+import numpy as np
+import pytest
+from itertools import islice
+
+from repro.analysis import success_rate_table
+from repro.config import ReproConfig
+from repro.core.candidates.lazy import lazy_candidates
+from repro.simulate import WifiAttackSimulation, sampled_capture
+from repro.tkip.attack import position_log_likelihoods
+from repro.tkip.crc import Crc32
+from repro.tkip.michael import michael_header, recover_key
+
+
+def _run_point(config, sim, per_tsc, packets_per_tsc, trials, budget):
+    plaintext = sim.true_plaintext
+    known = sim.spec.msdu_data()
+    true_tail = plaintext[len(known):]
+    unknown = list(range(len(known) + 1, len(plaintext) + 1))
+    list_wins = 0
+    top2_wins = 0
+    for t in range(trials):
+        capture = sampled_capture(
+            per_tsc,
+            plaintext,
+            range(1, len(plaintext) + 1),
+            packets_per_tsc=packets_per_tsc,
+            seed=config.rng("fig8", packets_per_tsc, t),
+        )
+        loglik = position_log_likelihoods(capture, per_tsc, unknown)
+        prefix_crc = Crc32().update(known)
+        for rank, (cand, _s) in enumerate(
+            islice(lazy_candidates(loglik), budget)
+        ):
+            if prefix_crc.copy().update(cand[:8]).digest() == cand[8:]:
+                if cand == true_tail:
+                    list_wins += 1
+                    if rank < 2:
+                        top2_wins += 1
+                break
+    return list_wins / trials, top2_wins / trials
+
+
+@pytest.mark.figure
+def test_fig8_mic_key_recovery(benchmark, config, per_tsc_dists):
+    trials = config.scaled(8, maximum=128)
+    budget = config.scaled(1 << 15, maximum=1 << 22)
+    sim = WifiAttackSimulation(ReproConfig(seed=config.seed + 8))
+    sweep = [1 << 6, 1 << 8, 1 << 10, 1 << 12]
+
+    def run():
+        series = {"candidate list": [], "top-2 only": []}
+        for packets in sweep:
+            list_rate, top2_rate = _run_point(
+                config, sim, per_tsc_dists, packets, trials, budget
+            )
+            series["candidate list"].append(list_rate)
+            series["top-2 only"].append(top2_rate)
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    num_tsc = len(per_tsc_dists.tsc_values)
+    print()
+    print(
+        success_rate_table(
+            "packets/TSC",
+            series,
+            [f"2^{p.bit_length()-1}" for p in sweep],
+            title=(
+                f"Fig 8 reproduction: MIC key recovery "
+                f"({num_tsc} TSC values, {trials} trials/point, "
+                f"candidate budget 2^{budget.bit_length()-1})"
+            ),
+        )
+    )
+    print("paper shape: list search >> top-2; both rise with captures; "
+          "paper x-axis is 1..15 x 2^20 total captures over all 65536 TSCs.")
+
+    lst, top2 = series["candidate list"], series["top-2 only"]
+    # Who wins: the candidate list dominates top-2 everywhere.
+    assert all(a >= b for a, b in zip(lst, top2))
+    # Success grows with data and reaches certainty at the top end.
+    assert lst[-1] >= max(lst[0], 0.9)
+
+    # Sanity: a successful run's MIC inverts to a Michael key that
+    # regenerates the MIC (the §5.3 derivation).
+    plaintext = sim.true_plaintext
+    known = sim.spec.msdu_data()
+    mic = plaintext[len(known):len(known) + 8]
+    header = michael_header(sim.campaign.da, sim.campaign.sa) + known
+    assert recover_key(header, mic) == sim.victim.mic_key

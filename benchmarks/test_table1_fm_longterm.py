@@ -1,0 +1,93 @@
+"""Table 1: generalized Fluhrer-McGrew digraph biases, long-term.
+
+Paper: 12 digraph rules with probabilities 2^-16 (1 +/- 2^-8) (double
+strength for (0,0) at i = 1), measured from cluster-scale keystream.
+
+Reproduction: count rule matches over keystream deep past the initial
+bytes (drop 1023, as the paper's long-term dataset does), pooled over all
+applicable i values.  Per-cell separation from uniform needs ~2^36
+digraphs (power analysis), so alongside per-rule z-scores we report the
+pooled log-likelihood-ratio sigma that the data prefers the FM model
+over uniform — the honest aggregate at laptop scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.biases.fluhrer_mcgrew import FM_RULES
+from repro.utils.tables import format_table
+
+from _shared import parallel_fm_matches, pooled_llr_z, z_score
+
+STREAM_LEN = 1 << 12
+DROP = 1023
+
+
+def _rule_targets() -> np.ndarray:
+    """Per-rule target digraph code for each stream row (-1 = N/A)."""
+    targets = np.full((len(FM_RULES), STREAM_LEN), -1, dtype=np.int32)
+    for rule_idx, rule in enumerate(FM_RULES):
+        for row in range(STREAM_LEN):
+            i = (DROP + row + 1) % 256
+            if rule.applies(i, None):
+                a, b = rule.cell(i)
+                targets[rule_idx, row] = (a << 8) | b
+    return targets
+
+
+@pytest.mark.table
+def test_table1_fm_longterm(benchmark, config):
+    total_keys = config.scaled(1 << 16, maximum=1 << 21)
+    targets = _rule_targets()
+
+    def run():
+        return parallel_fm_matches(
+            config, "table1", total_keys, STREAM_LEN, DROP, targets
+        )
+
+    matches, trials = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    uniform = 2.0**-16
+    rows = []
+    p_alt = np.array([rule.probability for rule in FM_RULES])
+    p_null = np.full(len(FM_RULES), uniform)
+    sign_hits = 0
+    sign_total = 0
+    for rule, m, t in zip(FM_RULES, matches, trials):
+        measured = m / t if t else 0.0
+        z_uniform = z_score(int(m), int(t), uniform)
+        expected_sign = 1 if rule.probability > uniform else -1
+        measured_sign = 1 if measured > uniform else -1
+        if t:
+            sign_total += 1
+            sign_hits += expected_sign == measured_sign
+        rows.append(
+            (
+                rule.name,
+                f"{rule.probability * 2**16:.5f}",
+                f"{measured * 2**16:.5f}",
+                f"{z_uniform:+.2f}",
+            )
+        )
+    pooled = pooled_llr_z(matches, trials, p_alt, p_null)
+    print()
+    print(
+        format_table(
+            ["digraph (Table 1)", "paper 2^16*p", "measured 2^16*p", "z vs uniform"],
+            rows,
+            title=(
+                f"Table 1 reproduction: {int(trials.sum()):,} rule-trials from "
+                f"{total_keys} keys x {STREAM_LEN} long-term digraphs"
+            ),
+        )
+    )
+    print(
+        f"pooled LLR preference for the FM model over uniform: {pooled:+.2f} sigma"
+    )
+    print(f"sign agreement: {sign_hits}/{sign_total} rules")
+    print("note: per-rule separation needs ~2^36 digraphs (paper scale).")
+
+    # Sanity gates: counting machinery consistent; evidence not contrarian.
+    assert int(trials.sum()) > 0
+    assert all(0.0 <= m / t <= 1.0 for m, t in zip(matches, trials) if t)
+    assert pooled > -3.0

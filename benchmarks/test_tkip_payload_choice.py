@@ -1,0 +1,91 @@
+"""§5.2 ablation: packet structure — 0-byte vs 7-byte TCP payload.
+
+Paper: with no TCP payload the MIC+ICV sit at positions 49..60 where 7
+bytes are strongly biased; a 7-byte payload moves them to 56..67 where 8
+bytes are strongly biased, and simulations confirmed the higher
+simultaneous-decryption probability.  The 7-byte payload also makes the
+frame length unique on the air.
+
+Reproduction: score positions by the KL strength of the per-TSC
+distributions and count strong positions under each window; then run the
+recovery at both payload lengths and compare success.
+"""
+
+import numpy as np
+import pytest
+from itertools import islice
+
+from repro.config import ReproConfig
+from repro.core.candidates.lazy import lazy_candidates
+from repro.simulate import WifiAttackSimulation, sampled_capture
+from repro.tkip import payload_choice_report
+from repro.tkip.attack import biased_position_strength, position_log_likelihoods
+from repro.tkip.crc import Crc32
+from repro.utils.tables import format_table
+
+
+def _success_rate(config, payload, per_tsc, packets, trials, budget):
+    sim = WifiAttackSimulation(
+        ReproConfig(seed=config.seed + len(payload)), payload=payload
+    )
+    plaintext = sim.true_plaintext
+    known = sim.spec.msdu_data()
+    true_tail = plaintext[len(known):]
+    unknown = list(range(len(known) + 1, len(plaintext) + 1))
+    wins = 0
+    for t in range(trials):
+        capture = sampled_capture(
+            per_tsc,
+            plaintext,
+            range(1, len(plaintext) + 1),
+            packets_per_tsc=packets,
+            seed=config.rng("payload-choice", len(payload), t),
+        )
+        loglik = position_log_likelihoods(capture, per_tsc, unknown)
+        prefix_crc = Crc32().update(known)
+        for cand, _s in islice(lazy_candidates(loglik), budget):
+            if prefix_crc.copy().update(cand[:8]).digest() == cand[8:]:
+                wins += cand == true_tail
+                break
+    return wins / trials
+
+
+@pytest.mark.figure
+def test_payload_choice(benchmark, config, per_tsc_dists):
+    trials = config.scaled(6, maximum=64)
+    packets = 1 << 9
+    budget = 1 << 14
+
+    def run():
+        report = payload_choice_report(per_tsc_dists)
+        rate0 = _success_rate(config, b"", per_tsc_dists, packets, trials, budget)
+        rate7 = _success_rate(
+            config, b"ATTACK!", per_tsc_dists, packets, trials, budget
+        )
+        return report, rate0, rate7
+
+    report, rate0, rate7 = benchmark.pedantic(run, rounds=1, iterations=1)
+    strength = biased_position_strength(per_tsc_dists)
+    print()
+    print(
+        format_table(
+            ["payload bytes", "MIC/ICV window", "strong positions", "recovery rate"],
+            [
+                (0, "49..60", report[0], f"{rate0:.2f}"),
+                (7, "56..67", report[7], f"{rate7:.2f}"),
+            ],
+            title=(
+                f"§5.2 payload-structure ablation "
+                f"({trials} trials, {packets} packets/TSC)"
+            ),
+        )
+    )
+    top = np.argsort(strength)[::-1][:10] + 1
+    print(f"ten strongest positions by per-TSC KL: {sorted(top.tolist())}")
+    print("paper: the 7-byte window covers more strongly biased positions "
+          "and additionally gives the frame a unique length.")
+
+    # The frame-length uniqueness part of the argument:
+    assert 48 + 7 + 12 != 48 + 12
+    # The recovery-rate comparison must not invert decisively.
+    assert rate7 >= rate0 - 0.34

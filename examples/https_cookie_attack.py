@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The full HTTPS cookie attack of paper §6, simulated end to end.
+
+Pipeline: cookie-jar manipulation over plain HTTP (isolate the secure
+cookie, inject known cookies, pad to 512-byte records) -> JavaScript-
+driven request generation -> Fluhrer-McGrew + ABSAB likelihoods ->
+Algorithm 2 over the RFC 6265 alphabet -> brute force against the server.
+
+Ciphertext statistics come from the exact sufficient-statistic sampler
+(the paper's 9*2^27 requests took 75 hours on real hardware; the sampler
+is distribution-exact, see DESIGN.md).  A short cookie keeps the default
+run in seconds; scale up with REPRO_SCALE / cookie length.
+
+Run:  python examples/https_cookie_attack.py
+"""
+
+import time
+
+from repro.config import get_config
+from repro.simulate import HttpsAttackSimulation, tls_timeline
+from repro.tls import PAPER_REQUEST_RATE
+
+
+def main() -> None:
+    config = get_config()
+    cookie_len = 3 if config.scale < 4 else 16
+    # Sufficient-statistic sampling costs O(cells), not O(N), so the
+    # ciphertext count never drops below the recovery threshold even at
+    # small REPRO_SCALE.
+    num_requests = config.scaled(1 << 29, minimum=1 << 29, maximum=9 * 2**27)
+    num_candidates = config.scaled(1 << 12, minimum=1 << 12, maximum=1 << 23)
+
+    print("== HTTPS secure-cookie attack (paper §6) ==")
+    sim = HttpsAttackSimulation(config, cookie_len=cookie_len, max_gap=128)
+    print(f"secret cookie (hidden):  {sim.secret.decode('latin-1')}")
+    print(f"request layout: {sim.layout.request_len} bytes "
+          f"(+20 MAC = {sim.layout.request_len + 20}, multiple of 256), "
+          f"cookie at positions {sim.layout.cookie_span}")
+
+    print(f"\n[1/3] collecting statistics from {num_requests} requests...")
+    timeline = tls_timeline(num_requests, candidates=num_candidates)
+    print(f"      equivalent victim time at {PAPER_REQUEST_RATE:.0f} req/s: "
+          f"{timeline.capture_hours:.1f} hours "
+          f"(paper: 75 h for 9*2^27 requests)")
+    t0 = time.perf_counter()
+    stats = sim.sampled_statistics(num_requests)
+    print(f"      {len(stats.absab_counts)} ABSAB alignments + "
+          f"{stats.fm_counts.shape[0]} FM transitions in "
+          f"{time.perf_counter() - t0:.1f}s")
+
+    print(f"\n[2/3] generating {num_candidates} candidates "
+          f"(Algorithm 2, 90-char RFC 6265 alphabet)...")
+    t0 = time.perf_counter()
+    result = sim.attack(stats, num_candidates=num_candidates)
+    print(f"      done in {time.perf_counter() - t0:.1f}s")
+
+    print(f"\n[3/3] brute force against the server oracle...")
+    print(f"      cookie found at rank {result.rank} "
+          f"after {result.attempts} attempts")
+    print(f"      brute-force wall clock at 20000 tests/s: "
+          f"{result.attempts / 20000:.2f}s (paper: <7 min for all 2^23)")
+    print(f"      recovered cookie: {result.cookie.decode('latin-1')}")
+
+
+if __name__ == "__main__":
+    main()

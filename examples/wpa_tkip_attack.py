@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The full WPA-TKIP attack of paper §5, simulated end to end.
+
+Pipeline: build a TKIP network (real key mixing, Michael, CRC, RC4) ->
+inject identical TCP packets -> capture per-TSC ciphertext statistics ->
+single-byte likelihoods -> candidate list with CRC pruning -> invert
+Michael -> forge a packet with the recovered MIC key.
+
+The per-TSC keystream maps use a scaled TSC subspace (the paper burned 10
+CPU-years on the full map; see DESIGN.md).  Captures are drawn with the
+exact sufficient-statistic sampler so the example finishes in seconds.
+
+Run:  python examples/wpa_tkip_attack.py          (REPRO_SCALE to enlarge)
+"""
+
+import time
+
+from repro.config import get_config
+from repro.simulate import WifiAttackSimulation, sampled_capture, tkip_timeline
+from repro.tkip import default_tsc_space, generate_per_tsc, parse_msdu_data
+
+
+def main() -> None:
+    config = get_config()
+    num_tsc = config.scaled(8, maximum=256)
+    keys_per_tsc = config.scaled(1 << 12, maximum=1 << 18)
+    packets_per_tsc = config.scaled(1 << 12, maximum=1 << 20)
+
+    print("== WPA-TKIP attack (paper §5) ==")
+    sim = WifiAttackSimulation(config)
+    plaintext = sim.true_plaintext
+    print(f"victim MIC key (hidden):  {sim.victim.mic_key.hex()}")
+    print(f"injected packet: {len(plaintext)} bytes protected "
+          f"(48 headers + 7 payload + 8 MIC + 4 ICV)")
+
+    print(f"\n[1/4] measuring per-TSC keystream distributions "
+          f"({num_tsc} TSC values x 2^{keys_per_tsc.bit_length()-1} keys)...")
+    t0 = time.perf_counter()
+    per_tsc = generate_per_tsc(
+        config, default_tsc_space(num_tsc), keys_per_tsc, length=len(plaintext)
+    )
+    print(f"      done in {time.perf_counter() - t0:.1f}s")
+
+    total_packets = num_tsc * packets_per_tsc
+    print(f"\n[2/4] capturing {total_packets} identical-packet encryptions "
+          f"(sufficient-statistic sampler)...")
+    timeline = tkip_timeline(total_packets)
+    print(f"      equivalent on-air time at 2500 pkts/s: "
+          f"{timeline.capture_hours:.2f} hours "
+          f"(paper: ~1 hour for 9.5*2^20 packets)")
+    capture = sampled_capture(
+        per_tsc, plaintext, range(1, len(plaintext) + 1),
+        packets_per_tsc=packets_per_tsc, seed=config.rng("example-capture"),
+    )
+
+    print("\n[3/4] decrypting MIC+ICV via candidate list + CRC pruning...")
+    t0 = time.perf_counter()
+    result = sim.attack(capture, per_tsc, max_candidates=1 << 20)
+    print(f"      first CRC-valid candidate at rank {result.candidates_tried} "
+          f"({time.perf_counter() - t0:.1f}s)")
+    print(f"      recovered MIC: {result.mic.hex()}  correct: {result.correct}")
+    print(f"      recovered MIC key: {result.mic_key.hex()}")
+
+    print("\n[4/4] forging a packet with the recovered MIC key...")
+    frame = sim.forge_frame(result.mic_key, b"0wned by rc4biases")
+    from repro.tkip import TkipSession
+
+    receiver = TkipSession(tk=sim.victim.tk, mic_key=sim.victim.mic_key,
+                           ta=sim.victim.ta)
+    receiver.replay_window = frame.tsc - 1
+    data = receiver.decapsulate(frame)
+    _, ip, tcp, payload = parse_msdu_data(data)
+    print(f"      victim accepted forged TCP packet: "
+          f"{ip.source}:{tcp.source_port} -> {ip.destination}:{tcp.dest_port} "
+          f"payload={payload!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs cannot build a wheel.  Keeping a ``setup.py``
+(and no ``[build-system]`` table in pyproject.toml) lets
+``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

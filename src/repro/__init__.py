@@ -1,0 +1,26 @@
+"""repro — reproduction of Vanhoef & Piessens' RC4 attacks on WPA-TKIP and TLS.
+
+The package is organised by subsystem (see DESIGN.md for the full
+inventory):
+
+- :mod:`repro.rc4` — the cipher, reference and vectorised batch forms.
+- :mod:`repro.stats` — hypothesis-testing framework for bias hunting.
+- :mod:`repro.biases` — catalog of known keystream biases and
+  distribution models built from them.
+- :mod:`repro.datasets` — keystream-statistics generation (the paper's
+  ``first16`` / ``consec512`` datasets at configurable scale).
+- :mod:`repro.core` — the paper's primary contribution: Bayesian
+  plaintext likelihoods, bias combination, and candidate enumeration
+  (Algorithms 1 and 2).
+- :mod:`repro.net` / :mod:`repro.tkip` / :mod:`repro.tls` — the protocol
+  substrates and the two end-to-end attacks.
+- :mod:`repro.simulate` — traffic/capture simulators and exact
+  sufficient-statistic samplers used by the benchmark harness.
+- :mod:`repro.analysis` — paper-style rendering of results.
+"""
+
+from ._version import __version__
+from .config import ReproConfig, get_config
+from .errors import ReproError
+
+__all__ = ["ReproConfig", "ReproError", "__version__", "get_config"]

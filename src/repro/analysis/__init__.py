@@ -1,0 +1,16 @@
+"""Paper-style rendering of results: tables, ASCII figures, CSV series."""
+
+from .figures import ascii_curve, series_to_csv
+from .report import (
+    bias_comparison_table,
+    probability_notation,
+    success_rate_table,
+)
+
+__all__ = [
+    "ascii_curve",
+    "bias_comparison_table",
+    "probability_notation",
+    "series_to_csv",
+    "success_rate_table",
+]

@@ -1,0 +1,66 @@
+"""ASCII curves and CSV emission for figure reproduction.
+
+Every figure benchmark emits its series as CSV (machine-checkable) and an
+ASCII sketch (human-scannable in the bench log).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_curve(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Plot one or more y-series against a shared x-axis, ASCII-style."""
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for s_idx, (name, ys) in enumerate(series.items()):
+        marker = markers[s_idx % len(markers)]
+        for x, y in zip(x_values, ys):
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_min:.4g}, {y_max:.4g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_min:.4g}, {x_max:.4g}]")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def series_to_csv(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+) -> str:
+    """Emit series as CSV text with a header row."""
+    headers = [x_label] + list(series.keys())
+    lines = [",".join(headers)]
+    for i, x in enumerate(x_values):
+        row = [str(x)] + [repr(float(values[i])) for values in series.values()]
+        lines.append(",".join(row))
+    return "\n".join(lines)

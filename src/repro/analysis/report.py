@@ -1,0 +1,74 @@
+"""Textual result reporting in the paper's notation.
+
+Benchmarks print measured probabilities next to the paper's, in the same
+``2^a (1 ± 2^b)`` notation the tables use, so EXPERIMENTS.md rows can be
+read against the original directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..utils.tables import format_table
+
+
+def probability_notation(probability: float, baseline: float) -> str:
+    """Render a probability as ``2^a (1 ± 2^b)`` relative to a baseline.
+
+    ``a = log2(baseline)``; ``b = log2(|probability/baseline - 1|)``.
+    """
+    if probability <= 0.0 or baseline <= 0.0:
+        raise ValueError("probability and baseline must be positive")
+    base_exp = math.log2(baseline)
+    rel = probability / baseline - 1.0
+    if rel == 0.0:
+        return f"2^{base_exp:.5f}"
+    sign = "+" if rel > 0 else "-"
+    return f"2^{base_exp:.5f} (1 {sign} 2^{math.log2(abs(rel)):.3f})"
+
+
+def bias_comparison_table(
+    rows: Sequence[tuple[str, float, float, float]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Table comparing paper vs measured probabilities.
+
+    Args:
+        rows: (label, paper_probability, measured_probability, baseline).
+    """
+    formatted = []
+    for label, paper_p, measured_p, baseline in rows:
+        q_paper = paper_p / baseline - 1.0
+        q_measured = measured_p / baseline - 1.0
+        agree = "yes" if (q_paper == 0 or q_paper * q_measured > 0) else "NO"
+        formatted.append(
+            (
+                label,
+                probability_notation(paper_p, baseline),
+                probability_notation(measured_p, baseline),
+                agree,
+            )
+        )
+    return format_table(
+        ["bias", "paper", "measured", "sign agrees"], formatted, title=title
+    )
+
+
+def success_rate_table(
+    x_label: str,
+    series: dict[str, Sequence[float]],
+    x_values: Sequence[object],
+    *,
+    title: str | None = None,
+) -> str:
+    """Table of success-rate curves (the paper's Fig 7/8/10 as rows)."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(f"{100.0 * values[i]:.1f}%")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

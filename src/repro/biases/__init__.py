@@ -1,0 +1,103 @@
+"""Catalog of RC4 keystream biases and distribution models (paper §2-3).
+
+Three kinds of objects live here:
+
+- **catalog entries** — the biases the paper states, with probabilities
+  recorded exactly as printed (``repro.biases.short_term``,
+  ``repro.biases.long_term``, ``repro.biases.fluhrer_mcgrew``,
+  ``repro.biases.mantin_absab``);
+- **analytic distribution builders** — probability vectors/matrices
+  assembled from catalog entries, consumed by the likelihood machinery
+  and the sufficient-statistic samplers;
+- **empirical measurement** — distributions measured with the batch RC4
+  generator (``repro.biases.empirical``), the production path for the
+  attacks.
+"""
+
+from .fluhrer_mcgrew import (
+    FM_RULES,
+    FmRule,
+    fm_biased_cells,
+    fm_digraph_distribution,
+    fm_distributions_for_positions,
+    position_to_counter,
+)
+from .long_term import (
+    EQ9_RELATIVE_BIAS,
+    NEW_128_0,
+    SENGUPTA_00,
+    W256_PAIR_BIASES,
+    w256_gap1_distribution,
+)
+from .mantin_absab import (
+    MAX_GAP,
+    absab_alpha,
+    absab_relative_bias,
+    differential_distribution,
+    usable_gaps,
+)
+from .model import EqualityBias, PairBias, SingleByteBias, paper_prob
+from .empirical import counts_to_distribution, measure_digraph, measure_single_byte
+from .short_term import (
+    EQUALITY_BIASES,
+    ISOBE_Z1Z2_ZERO,
+    KEYLEN_BIAS_16,
+    MANTIN_SHAMIR,
+    PAUL_PRENEEL_Z1Z2,
+    TABLE2_ALL,
+    TABLE2_CONSECUTIVE,
+    TABLE2_NONCONSECUTIVE,
+    Z1Z2_FAMILIES,
+    Z1Z2_PAIR_PATTERNS,
+    beyond_256_biases,
+    r_value_bias_positions,
+    single_byte_model,
+    zero_bias,
+)
+
+
+def mantin_shamir_distribution():
+    """Distribution of Z_2 (the Mantin–Shamir doubled-zero byte)."""
+    return single_byte_model(2)
+
+
+__all__ = [
+    "EQ9_RELATIVE_BIAS",
+    "EQUALITY_BIASES",
+    "FM_RULES",
+    "FmRule",
+    "ISOBE_Z1Z2_ZERO",
+    "KEYLEN_BIAS_16",
+    "MANTIN_SHAMIR",
+    "MAX_GAP",
+    "NEW_128_0",
+    "PAUL_PRENEEL_Z1Z2",
+    "PairBias",
+    "EqualityBias",
+    "SENGUPTA_00",
+    "SingleByteBias",
+    "TABLE2_ALL",
+    "TABLE2_CONSECUTIVE",
+    "TABLE2_NONCONSECUTIVE",
+    "W256_PAIR_BIASES",
+    "Z1Z2_FAMILIES",
+    "Z1Z2_PAIR_PATTERNS",
+    "absab_alpha",
+    "absab_relative_bias",
+    "beyond_256_biases",
+    "counts_to_distribution",
+    "differential_distribution",
+    "fm_biased_cells",
+    "fm_digraph_distribution",
+    "fm_distributions_for_positions",
+    "mantin_shamir_distribution",
+    "measure_digraph",
+    "measure_single_byte",
+    "paper_prob",
+    "position_to_counter",
+    "r_value_bias_positions",
+    "single_byte_model",
+    "usable_gaps",
+    "w256_gap1_distribution",
+    "zero_bias",
+]

@@ -1,0 +1,184 @@
+"""Generalized Fluhrer–McGrew digraph biases (paper Table 1, §2.1.2, §3.3.1).
+
+Fluhrer & McGrew found that certain consecutive keystream byte pairs
+(digraphs) deviate from uniform throughout the whole keystream, with the
+deviation depending on the PRGA's public counter ``i`` — the value of
+``i`` *at the time the first byte of the digraph is produced*, i.e.
+``i = r mod 256`` for a digraph starting at 1-indexed position r.
+
+The paper's Table 1 generalises the original list with conditions on the
+absolute position r: a few digraphs do not hold (or hold differently) for
+small r.  This module encodes all 12 rows and can build the full 256x256
+digraph probability matrix for any i, which is the model consumed by the
+likelihood machinery (eq 15) and by the sufficient-statistic samplers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .model import paper_prob
+
+#: Long-term relative magnitudes from Table 1.
+_P_PLUS_7 = paper_prob(-16, -7, +1)
+_P_PLUS_8 = paper_prob(-16, -8, +1)
+_P_MINUS_8 = paper_prob(-16, -8, -1)
+
+
+@dataclass(frozen=True)
+class FmRule:
+    """One row of Table 1.
+
+    Attributes:
+        name: human-readable digraph label as printed in the paper.
+        values: function of i returning the (first, second) byte values.
+        condition: predicate on (i, r) deciding whether the rule applies;
+            ``r`` may be None meaning "long-term position" (all the
+            r-conditions of Table 1 are then satisfied).
+        probability: the long-term digraph probability.
+    """
+
+    name: str
+    values: Callable[[int], tuple[int, int]]
+    condition: Callable[[int, int | None], bool]
+    probability: float
+
+    def applies(self, i: int, r: int | None = None) -> bool:
+        return self.condition(i & 0xFF, r)
+
+    def cell(self, i: int) -> tuple[int, int]:
+        first, second = self.values(i & 0xFF)
+        return first & 0xFF, second & 0xFF
+
+
+def _rule(name, values, condition, probability) -> FmRule:
+    return FmRule(name=name, values=values, condition=condition, probability=probability)
+
+
+#: All 12 rows of Table 1.  ``r`` is the 1-indexed position of the first
+#: digraph byte; ``r is None`` means "deep in the keystream".
+FM_RULES: tuple[FmRule, ...] = (
+    _rule("(0,0) i=1", lambda i: (0, 0), lambda i, r: i == 1, _P_PLUS_7),
+    _rule(
+        "(0,0) i!=1,255",
+        lambda i: (0, 0),
+        lambda i, r: i not in (1, 255),
+        _P_PLUS_8,
+    ),
+    _rule(
+        "(0,1) i!=0,1",
+        lambda i: (0, 1),
+        lambda i, r: i not in (0, 1),
+        _P_PLUS_8,
+    ),
+    _rule(
+        "(0,i+1) i!=0,255",
+        lambda i: (0, i + 1),
+        lambda i, r: i not in (0, 255),
+        _P_MINUS_8,
+    ),
+    _rule(
+        "(i+1,255) i!=254",
+        lambda i: (i + 1, 255),
+        lambda i, r: i != 254 and (r is None or r != 1),
+        _P_PLUS_8,
+    ),
+    _rule(
+        "(129,129) i=2",
+        lambda i: (129, 129),
+        lambda i, r: i == 2 and (r is None or r != 2),
+        _P_PLUS_8,
+    ),
+    _rule(
+        "(255,i+1) i!=1,254",
+        lambda i: (255, i + 1),
+        lambda i, r: i not in (1, 254),
+        _P_PLUS_8,
+    ),
+    _rule(
+        "(255,i+2) i in [1,252]",
+        lambda i: (255, i + 2),
+        lambda i, r: 1 <= i <= 252 and (r is None or r != 2),
+        _P_PLUS_8,
+    ),
+    _rule("(255,0) i=254", lambda i: (255, 0), lambda i, r: i == 254, _P_PLUS_8),
+    _rule("(255,1) i=255", lambda i: (255, 1), lambda i, r: i == 255, _P_PLUS_8),
+    _rule("(255,2) i=0,1", lambda i: (255, 2), lambda i, r: i in (0, 1), _P_PLUS_8),
+    _rule(
+        "(255,255) i!=254",
+        lambda i: (255, 255),
+        lambda i, r: i != 254 and (r is None or r != 5),
+        _P_MINUS_8,
+    ),
+)
+
+
+def fm_biased_cells(
+    i: int, r: int | None = None
+) -> list[tuple[tuple[int, int], float]]:
+    """The biased digraph cells and probabilities for public counter ``i``.
+
+    Args:
+        i: PRGA public counter when the first digraph byte is output.
+        r: optional absolute 1-indexed position (activates Table 1's
+            short-term exceptions); None means long-term.
+
+    Returns:
+        List of ``((first, second), probability)``; cells are unique
+        (Table 1's rows never collide for a single i).
+    """
+    cells: dict[tuple[int, int], float] = {}
+    for rule in FM_RULES:
+        if rule.applies(i, r):
+            cell = rule.cell(i)
+            if cell in cells:
+                raise AssertionError(f"Table 1 rows collide at i={i}: {cell}")
+            cells[cell] = rule.probability
+    return list(cells.items())
+
+
+def position_to_counter(r: int) -> int:
+    """Map a 1-indexed keystream position to the PRGA counter i.
+
+    The PRGA increments i before producing a byte, so Z_r is output with
+    ``i = r mod 256``.
+    """
+    if r < 1:
+        raise ValueError(f"positions are 1-indexed, got {r}")
+    return r % 256
+
+
+def fm_digraph_distribution(i: int, r: int | None = None) -> np.ndarray:
+    """Full 256x256 digraph distribution for public counter ``i``.
+
+    Biased cells take their Table 1 probabilities; the remaining mass is
+    spread uniformly over the other cells — exactly the model the paper
+    optimises likelihood computations around (the independent/uniform set
+    I of eq 14).
+    """
+    dist = np.empty((256, 256), dtype=np.float64)
+    cells = fm_biased_cells(i, r)
+    biased_mass = sum(p for _, p in cells)
+    n_biased = len(cells)
+    dist.fill((1.0 - biased_mass) / (65536 - n_biased))
+    for (first, second), p in cells:
+        dist[first, second] = p
+    return dist
+
+
+def fm_distributions_for_positions(
+    positions: range | list[int], *, short_term: bool = False
+) -> dict[int, np.ndarray]:
+    """Digraph distributions keyed by 1-indexed start position r.
+
+    With ``short_term=True`` Table 1's r-conditions are applied (paper
+    §3.3.1 found the FM biases hold in the initial bytes too, with
+    exceptions at r = 1, 2, 5).
+    """
+    return {
+        r: fm_digraph_distribution(position_to_counter(r), r if short_term else None)
+        for r in positions
+    }

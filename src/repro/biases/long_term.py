@@ -1,0 +1,51 @@
+"""Long-term biases at multiples of 256 (paper §2.1.2 and §3.4).
+
+Sen Gupta et al. found ``Pr[(Z_{256w}, Z_{256w+2}) = (0, 0)] =
+2^-16 (1 + 2^-8)`` for w >= 1; the paper's new result (eq 8) is that the
+pair (128, 0) is biased identically at the same positions.  The paper
+also reports (eq 9) weak equality dependencies ``Pr[Z_{256w+a} =
+Z_{256w+b}]`` with relative bias ~2^-16 whose sign pattern it leaves as
+future work; we expose the magnitude for power calculations only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import PairBias, paper_prob
+
+#: Sen Gupta et al.: (Z_{w256}, Z_{w256+2}) = (0, 0), gap-1 digraph.
+SENGUPTA_00 = PairBias(
+    positions=(256, 258),
+    values=(0, 0),
+    probability=paper_prob(-16, -8, +1),
+    baseline=2.0**-16,
+    source="Sen Gupta et al. (w*256 positions)",
+)
+
+#: Paper eq 8 (new): (Z_{w256}, Z_{w256+2}) = (128, 0) with the same bias.
+NEW_128_0 = PairBias(
+    positions=(256, 258),
+    values=(128, 0),
+    probability=paper_prob(-16, -8, +1),
+    baseline=2.0**-16,
+    source="paper eq 8 (new long-term bias)",
+)
+
+#: Paper eq 9: |relative bias| of Pr[Z_{256w+a} = Z_{256w+b}] equalities.
+EQ9_RELATIVE_BIAS = 2.0**-16
+
+W256_PAIR_BIASES: tuple[PairBias, ...] = (SENGUPTA_00, NEW_128_0)
+
+
+def w256_gap1_distribution() -> np.ndarray:
+    """Distribution of (Z_{w256}, Z_{w256+2}) — the gap-1 digraph at
+    multiples of 256, containing both the Sen Gupta (0,0) cell and the
+    paper's new (128,0) cell."""
+    dist = np.empty((256, 256), dtype=np.float64)
+    biased = {(0, 0): SENGUPTA_00.probability, (128, 0): NEW_128_0.probability}
+    mass = sum(biased.values())
+    dist.fill((1.0 - mass) / (65536 - len(biased)))
+    for (a, b), p in biased.items():
+        dist[a, b] = p
+    return dist

@@ -1,0 +1,94 @@
+"""Dataclasses describing keystream biases and the paper's notation.
+
+The paper reports probabilities in the form ``2^a (1 ± 2^b)`` where
+``2^a`` is a baseline (uniform, or the single-byte-expected probability
+of a pair) and ``2^b`` the relative bias.  :func:`paper_prob` mirrors that
+notation so catalog entries read like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def paper_prob(base_exp: float, rel_exp: float | None = None, sign: int = 1) -> float:
+    """Evaluate the paper's ``2^base_exp (1 ± 2^rel_exp)`` notation.
+
+    Args:
+        base_exp: exponent of the baseline probability (e.g. -16).
+        rel_exp: exponent of the relative bias (e.g. -8); None for no bias.
+        sign: +1 for a positive bias, -1 for a negative bias.
+    """
+    base = 2.0**base_exp
+    if rel_exp is None:
+        return base
+    if sign not in (-1, 1):
+        raise ValueError(f"sign must be +1 or -1, got {sign}")
+    return base * (1.0 + sign * 2.0**rel_exp)
+
+
+@dataclass(frozen=True)
+class SingleByteBias:
+    """A bias of one keystream byte toward one value (paper §2.1.1, §3.3.3).
+
+    Attributes:
+        position: 1-indexed keystream position r of Z_r.
+        value: the biased byte value.
+        probability: absolute probability if the paper states one, else None.
+        relative_bias: q such that Pr = 2^-8 (1 + q), if known.
+        source: citation/short label.
+        approximate: True when the magnitude is a documented approximation
+            rather than a paper-stated value.
+    """
+
+    position: int
+    value: int
+    probability: float | None
+    relative_bias: float | None
+    source: str
+    approximate: bool = False
+
+    @property
+    def is_positive(self) -> bool:
+        if self.relative_bias is not None:
+            return self.relative_bias > 0
+        if self.probability is not None:
+            return self.probability > 1.0 / 256.0
+        raise ValueError("bias has neither probability nor relative bias")
+
+
+@dataclass(frozen=True)
+class PairBias:
+    """A bias of a pair (Z_a, Z_b) toward a value pair (paper Table 2).
+
+    ``baseline`` is the single-byte-expected probability (product of the
+    marginals) — the reference point of the paper's relative-bias plots.
+    """
+
+    positions: tuple[int, int]
+    values: tuple[int, int]
+    probability: float
+    baseline: float
+    source: str
+
+    @property
+    def relative_bias(self) -> float:
+        """The q of ``s = p (1 + q)`` (paper §3.1)."""
+        return self.probability / self.baseline - 1.0
+
+    @property
+    def is_positive(self) -> bool:
+        return self.relative_bias > 0
+
+
+@dataclass(frozen=True)
+class EqualityBias:
+    """A bias of the event Z_a == Z_b (paper eqs 3-5, §3.4 eq 9)."""
+
+    positions: tuple[int, int]
+    probability: float
+    source: str
+
+    @property
+    def relative_bias(self) -> float:
+        return self.probability * 256.0 - 1.0

@@ -1,0 +1,252 @@
+"""Catalog of short-term (initial-keystream) biases (paper §2.1.1, §3.3).
+
+Entries store the probabilities exactly as the paper prints them (in the
+``2^a (1 ± 2^b)`` notation, via :func:`repro.biases.model.paper_prob`),
+so benchmarks can compare measured values against the paper's numbers.
+Where the paper gives only a qualitative description the entry is marked
+``approximate``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import EqualityBias, PairBias, SingleByteBias, paper_prob
+
+# ---------------------------------------------------------------------------
+# Classical single-byte biases (paper §2.1.1).
+# ---------------------------------------------------------------------------
+
+#: Mantin & Shamir: Pr[Z_2 = 0] ~ 2 * 2^-8.
+MANTIN_SHAMIR = SingleByteBias(
+    position=2,
+    value=0,
+    probability=2.0 * 2.0**-8,
+    relative_bias=1.0,
+    source="Mantin-Shamir (FSE'01)",
+)
+
+
+def zero_bias(position: int) -> SingleByteBias:
+    """Bias of Z_r toward 0 for 3 <= r <= 255 (Maitra et al. / Sen Gupta
+    et al., refined magnitude).  The magnitude used here,
+
+        Pr[Z_r = 0] ~ 1/256 + (256 - r) / (256^2 * 255)
+
+    is the standard closed-form approximation; entries are marked
+    approximate since the paper cites but does not restate the formula.
+    """
+    if not 3 <= position <= 255:
+        raise ValueError(f"zero bias holds for 3 <= r <= 255, got {position}")
+    probability = 1.0 / 256.0 + (256.0 - position) / (256.0**2 * 255.0)
+    return SingleByteBias(
+        position=position,
+        value=0,
+        probability=probability,
+        relative_bias=probability * 256.0 - 1.0,
+        source="Maitra et al. / Sen Gupta et al.",
+        approximate=True,
+    )
+
+
+#: Key-length bias: for 16-byte keys, Z_16 is biased toward 256-16 = 240
+#: (Sen Gupta et al.).  The magnitude is taken from AlFardan et al.'s
+#: empirical estimate (~2^-8 (1 + 2^-4.8)); marked approximate.
+KEYLEN_BIAS_16 = SingleByteBias(
+    position=16,
+    value=240,
+    probability=paper_prob(-8, -4.8, +1),
+    relative_bias=2.0**-4.8,
+    source="Sen Gupta et al. (key-length)",
+    approximate=True,
+)
+
+# ---------------------------------------------------------------------------
+# Table 2: consecutive biases Z_{16w-1} = Z_{16w} = 256-16w (eq 2).
+# ---------------------------------------------------------------------------
+
+
+def _consecutive(w: int, base_exp: float, rel_exp: float) -> PairBias:
+    position = 16 * w
+    value = 256 - 16 * w
+    return PairBias(
+        positions=(position - 1, position),
+        values=(value, value),
+        probability=paper_prob(base_exp, rel_exp, -1),
+        baseline=2.0**base_exp,
+        source="Table 2 (consecutive, key-length dependent)",
+    )
+
+
+#: The seven consecutive-pair rows of Table 2 (w = 1..7).  The baseline
+#: 2^a is the single-byte-expected probability, and the factor (1 - 2^b)
+#: the relative bias against it: the pairs occur *more* often than a
+#: uniform pair (2^a > 2^-16) but *less* often than the marginals predict.
+TABLE2_CONSECUTIVE: tuple[PairBias, ...] = (
+    _consecutive(1, -15.94786, -4.894),
+    _consecutive(2, -15.96486, -5.427),
+    _consecutive(3, -15.97595, -5.963),
+    _consecutive(4, -15.98363, -6.469),
+    _consecutive(5, -15.99020, -7.150),
+    _consecutive(6, -15.99405, -7.740),
+    _consecutive(7, -15.99668, -8.331),
+)
+
+# ---------------------------------------------------------------------------
+# Table 2: non-consecutive pair biases.
+# ---------------------------------------------------------------------------
+
+
+def _pair(a, va, b, vb, base_exp, rel_exp, sign) -> PairBias:
+    return PairBias(
+        positions=(a, b),
+        values=(va, vb),
+        probability=paper_prob(base_exp, rel_exp, sign),
+        baseline=2.0**base_exp,
+        source="Table 2 (non-consecutive)",
+    )
+
+
+TABLE2_NONCONSECUTIVE: tuple[PairBias, ...] = (
+    _pair(3, 4, 5, 4, -16.00243, -7.912, +1),
+    _pair(3, 131, 131, 3, -15.99543, -8.700, +1),
+    _pair(3, 131, 131, 131, -15.99347, -9.511, -1),
+    _pair(4, 5, 6, 255, -15.99918, -8.208, +1),
+    _pair(14, 0, 16, 14, -15.99349, -9.941, +1),
+    _pair(15, 47, 17, 16, -16.00191, -11.279, +1),
+    _pair(15, 112, 32, 224, -15.96637, -10.904, -1),
+    _pair(15, 159, 32, 224, -15.96574, -9.493, +1),
+    _pair(16, 240, 31, 63, -15.95021, -8.996, +1),
+    _pair(16, 240, 32, 16, -15.94976, -9.261, +1),
+    _pair(16, 240, 33, 16, -15.94960, -10.516, +1),
+    _pair(16, 240, 40, 32, -15.94976, -10.933, +1),
+    _pair(16, 240, 48, 16, -15.94989, -10.832, +1),
+    _pair(16, 240, 48, 208, -15.92619, -10.965, -1),
+    _pair(16, 240, 64, 192, -15.93357, -11.229, -1),
+)
+
+TABLE2_ALL: tuple[PairBias, ...] = TABLE2_CONSECUTIVE + TABLE2_NONCONSECUTIVE
+
+# ---------------------------------------------------------------------------
+# §3.3.2: influence of Z1 and Z2 — six bias families over 3 <= i <= 256.
+# ---------------------------------------------------------------------------
+
+#: The six families, as (name, z_position, z_value_fn, zi_value_fn, sign).
+#: Values are functions of the position i; sign is the *typical* sign of
+#: the relative bias per the paper (family 3 always negative; families
+#: 5-6 involving Z2 generally negative; Z1 families generally positive).
+Z1Z2_FAMILIES: tuple[tuple[str, int, object, object, int], ...] = (
+    ("Z1=257-i & Zi=0", 1, lambda i: (257 - i) % 256, lambda i: 0, +1),
+    ("Z1=257-i & Zi=i", 1, lambda i: (257 - i) % 256, lambda i: i % 256, +1),
+    ("Z1=257-i & Zi=257-i", 1, lambda i: (257 - i) % 256, lambda i: (257 - i) % 256, -1),
+    ("Z1=i-1 & Zi=1", 1, lambda i: (i - 1) % 256, lambda i: 1, +1),
+    ("Z2=0 & Zi=0", 2, lambda i: 0, lambda i: 0, -1),
+    ("Z2=0 & Zi=i", 2, lambda i: 0, lambda i: i % 256, -1),
+)
+
+#: §3.3.2 pairs A-D between Z1 and Z2 (x ranges over byte values):
+#: A) Z1=0 & Z2=x (negative, x != 0)     C) Z1=x & Z2=0 (negative, x != 0)
+#: B) Z1=x & Z2=258-x (positive)         D) Z1=x & Z2=1 (positive)
+Z1Z2_PAIR_PATTERNS: tuple[tuple[str, object, int], ...] = (
+    ("A: Z1=0, Z2=x", lambda x: (0, x % 256), -1),
+    ("B: Z1=x, Z2=258-x", lambda x: (x % 256, (258 - x) % 256), +1),
+    ("C: Z1=x, Z2=0", lambda x: (x % 256, 0), -1),
+    ("D: Z1=x, Z2=1", lambda x: (x % 256, 1), +1),
+)
+
+#: Paul & Preneel: Pr[Z1 = Z2] = 2^-8 (1 - 2^-8); Isobe et al. refined
+#: Pr[Z1 = Z2 = 0] ~ 3 * 2^-16.
+PAUL_PRENEEL_Z1Z2 = EqualityBias(
+    positions=(1, 2),
+    probability=paper_prob(-8, -8, -1),
+    source="Paul-Preneel (FSE'04)",
+)
+ISOBE_Z1Z2_ZERO = PairBias(
+    positions=(1, 2),
+    values=(0, 0),
+    probability=3.0 * 2.0**-16,
+    baseline=2.0**-16,
+    source="Isobe et al. (FSE'13)",
+)
+
+#: Paper eqs 3-5: new equalities involving Z1/Z2.
+EQ3_Z1_EQ_Z3 = EqualityBias((1, 3), paper_prob(-8, -9.617, -1), "paper eq 3")
+EQ4_Z1_EQ_Z4 = EqualityBias((1, 4), paper_prob(-8, -8.590, +1), "paper eq 4")
+EQ5_Z2_EQ_Z4 = EqualityBias((2, 4), paper_prob(-8, -9.622, -1), "paper eq 5")
+
+EQUALITY_BIASES: tuple[EqualityBias, ...] = (
+    PAUL_PRENEEL_Z1Z2,
+    EQ3_Z1_EQ_Z3,
+    EQ4_Z1_EQ_Z4,
+    EQ5_Z2_EQ_Z4,
+)
+
+# ---------------------------------------------------------------------------
+# §3.3.3: single-byte biases beyond position 256.
+# ---------------------------------------------------------------------------
+
+
+def beyond_256_biases() -> list[SingleByteBias]:
+    """Key-length dependent biases Z_{256+16k} = k*32 for 1 <= k <= 7.
+
+    The paper reports these as "significant" from Figure 6 without
+    printing magnitudes; entries are qualitative (probability None) and
+    approximate.
+    """
+    return [
+        SingleByteBias(
+            position=256 + 16 * k,
+            value=(32 * k) & 0xFF,
+            probability=None,
+            relative_bias=None,
+            source="paper §3.3.3 (key-length, beyond 256)",
+            approximate=True,
+        )
+        for k in range(1, 8)
+    ]
+
+
+def r_value_bias_positions(limit: int = 256) -> list[SingleByteBias]:
+    """AlFardan et al. / Isobe et al.: bias toward value r at position r.
+
+    Magnitudes are not restated by the paper; entries are qualitative.
+    """
+    return [
+        SingleByteBias(
+            position=r,
+            value=r % 256,
+            probability=None,
+            relative_bias=None,
+            source="AlFardan et al. / Isobe et al. (Z_r -> r)",
+            approximate=True,
+        )
+        for r in range(1, limit + 1)
+    ]
+
+
+def single_byte_model(position: int, keylen: int = 16) -> np.ndarray:
+    """Analytic single-byte distribution for an initial keystream position.
+
+    Assembles the well-specified catalog entries into a 256-vector:
+    uniform baseline, plus the Mantin–Shamir Z2 bias, the zero bias for
+    3 <= r <= 255, and the key-length bias at r = keylen.  This model is
+    intentionally conservative — attacks that need precise initial-byte
+    distributions use empirically generated ones (repro.biases.empirical);
+    this analytic model serves tests, examples and samplers.
+    """
+    if position < 1:
+        raise ValueError(f"positions are 1-indexed, got {position}")
+    dist = np.full(256, 1.0 / 256.0, dtype=np.float64)
+    if position == 2:
+        dist[0] = MANTIN_SHAMIR.probability
+    elif 3 <= position <= 255:
+        dist[0] = zero_bias(position).probability
+    if position == keylen and keylen == 16:
+        dist[KEYLEN_BIAS_16.value] = KEYLEN_BIAS_16.probability
+    # Renormalise the remaining mass over unbiased values.
+    biased = dist != 1.0 / 256.0
+    residual = 1.0 - dist[biased].sum()
+    n_unbiased = int((~biased).sum())
+    if n_unbiased:
+        dist[~biased] = residual / n_unbiased
+    return dist

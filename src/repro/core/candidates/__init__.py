@@ -1,0 +1,14 @@
+"""Plaintext candidate enumeration in decreasing likelihood (paper §4.4)."""
+
+from .hmm import PlaintextHmm
+from .lazy import lazy_candidates
+from .single_list import algorithm1
+from .viterbi import CandidateList, algorithm2
+
+__all__ = [
+    "CandidateList",
+    "PlaintextHmm",
+    "algorithm1",
+    "algorithm2",
+    "lazy_candidates",
+]

@@ -1,0 +1,166 @@
+"""Algorithm 2: N-best plaintexts from double-byte likelihoods (paper §4.4).
+
+The paper models double-byte likelihoods as a first-order
+time-inhomogeneous hidden Markov model (states = byte values, transition
+weight at step r = lambda_{r, mu1, mu2}) and observes that generating the
+N most likely plaintexts is N-best Viterbi decoding (list Viterbi).  As
+in the paper, the first and last plaintext bytes (m1, mL) are known, and
+the inner loops range only over an allowed character set — the RFC 6265
+cookie-charset restriction of §6.2 that tightens the ciphertext bound.
+
+This implementation keeps, for every allowed ending value mu, the N best
+partial plaintexts ending in mu — the "simplest form" of list Viterbi the
+paper describes — but batches the per-state merge with numpy
+(argpartition over the A*K extension scores) instead of a per-candidate
+priority queue, processing ending values in chunks to bound memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import CandidateError
+
+#: Ending values processed per argpartition batch; bounds peak memory at
+#: roughly ``chunk * A * N`` floats.
+_CHUNK = 16
+
+
+@dataclass(frozen=True)
+class CandidateList:
+    """Ranked plaintext candidates.
+
+    Attributes:
+        plaintexts: candidate unknown-part byte strings, best first.
+        log_likelihoods: matching scores, non-increasing.
+    """
+
+    plaintexts: list[bytes]
+    log_likelihoods: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.plaintexts)
+
+    def __iter__(self):
+        return iter(zip(self.plaintexts, self.log_likelihoods))
+
+    def rank_of(self, plaintext: bytes) -> int | None:
+        """0-based rank of ``plaintext``, or None if absent from the list."""
+        try:
+            return self.plaintexts.index(bytes(plaintext))
+        except ValueError:
+            return None
+
+
+def algorithm2(
+    log_likelihoods: np.ndarray,
+    first_byte: int,
+    last_byte: int,
+    num_candidates: int,
+    *,
+    charset: bytes | None = None,
+) -> CandidateList:
+    """Generate the N most likely plaintexts from double-byte estimates.
+
+    Args:
+        log_likelihoods: array (L-1, 256, 256); entry (r, mu1, mu2) is the
+            log-likelihood that plaintext bytes at positions r, r+1
+            (1-indexed) are (mu1, mu2).  L is the unknown length plus two.
+        first_byte: the known first byte m1.
+        last_byte: the known last byte mL.
+        num_candidates: N.
+        charset: allowed byte values for the L-2 unknown positions
+            (default: all 256).  The known bytes need not be in it.
+
+    Returns:
+        A :class:`CandidateList` over the L-2 *unknown* bytes (the known
+        m1/mL framing is stripped), best first.
+    """
+    lam = np.asarray(log_likelihoods, dtype=np.float64)
+    if lam.ndim != 3 or lam.shape[1:] != (256, 256):
+        raise CandidateError(
+            f"log_likelihoods must be (L-1, 256, 256), got {lam.shape}"
+        )
+    num_steps = lam.shape[0]
+    if num_steps < 2:
+        raise CandidateError("need at least one unknown byte (L >= 3)")
+    if num_candidates < 1:
+        raise CandidateError(f"num_candidates must be >= 1, got {num_candidates}")
+    if not (0 <= first_byte < 256 and 0 <= last_byte < 256):
+        raise CandidateError("first/last bytes must be in 0..255")
+    if charset is None:
+        alphabet = np.arange(256, dtype=np.intp)
+    else:
+        if not charset:
+            raise CandidateError("charset must be non-empty")
+        alphabet = np.asarray(sorted(set(charset)), dtype=np.intp)
+    a_size = alphabet.size
+
+    # --- forward pass -----------------------------------------------------
+    # scores[s]: (a_size, K_s) partial log-likelihoods, row = ending value,
+    # sorted descending along axis 1.  back[s]: int32 (a_size, K_s, 2)
+    # holding (previous value index, previous rank).
+    scores = lam[0, first_byte, alphabet][:, None]  # K = 1
+    back: list[np.ndarray | None] = [None]
+
+    for step in range(1, num_steps - 1):
+        k_prev = scores.shape[1]
+        trans = lam[step][np.ix_(alphabet, alphabet)]  # (from, to)
+        k_new = min(num_candidates, a_size * k_prev)
+        new_scores = np.empty((a_size, k_new), dtype=np.float64)
+        new_back = np.empty((a_size, k_new, 2), dtype=np.int32)
+        flat_prev = scores.reshape(-1)  # index = from_idx * k_prev + rank
+        for start in range(0, a_size, _CHUNK):
+            stop = min(start + _CHUNK, a_size)
+            # ext[to, from, rank] = scores[from, rank] + trans[from, to]
+            ext = flat_prev[None, :] + np.repeat(
+                trans[:, start:stop].T, k_prev, axis=1
+            )
+            top = _top_k_desc(ext, k_new)
+            new_scores[start:stop] = np.take_along_axis(ext, top, axis=1)
+            new_back[start:stop, :, 0], new_back[start:stop, :, 1] = np.divmod(
+                top, k_prev
+            )
+        scores = new_scores
+        back.append(new_back)
+
+    # --- final step: ending value fixed to mL -----------------------------
+    k_prev = scores.shape[1]
+    trans_last = lam[num_steps - 1][alphabet, last_byte]  # (from,)
+    ext = (scores + trans_last[:, None]).reshape(-1)
+    k_final = min(num_candidates, ext.size)
+    top = _top_k_desc(ext[None, :], k_final)[0]
+    final_scores = ext[top]
+    from_idx, rank = np.divmod(top, k_prev)
+
+    # --- backtrack ---------------------------------------------------------
+    plaintexts: list[bytes] = []
+    alphabet_bytes = alphabet.astype(np.uint8)
+    for f_idx, f_rank in zip(from_idx, rank):
+        chars = bytearray()
+        idx, rnk = int(f_idx), int(f_rank)
+        for step in range(num_steps - 2, 0, -1):
+            chars.append(alphabet_bytes[idx])
+            pointer = back[step]
+            idx, rnk = int(pointer[idx, rnk, 0]), int(pointer[idx, rnk, 1])
+        chars.append(alphabet_bytes[idx])
+        plaintexts.append(bytes(reversed(chars)))
+    return CandidateList(plaintexts=plaintexts, log_likelihoods=final_scores)
+
+
+def _top_k_desc(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k largest entries per row, sorted descending.
+
+    Deterministic: ties broken by index (via stable sort of the selected
+    block), so candidate order is reproducible.
+    """
+    n = values.shape[1]
+    if k >= n:
+        return np.argsort(-values, axis=1, kind="stable")
+    part = np.argpartition(-values, k - 1, axis=1)[:, :k]
+    part_vals = np.take_along_axis(values, part, axis=1)
+    # argsort the selected block; break ties by original index for determinism
+    order = np.lexsort((part, -part_vals), axis=1)
+    return np.take_along_axis(part, order, axis=1)

@@ -1,0 +1,15 @@
+"""Likelihood estimation from ciphertext statistics (paper §4.1-§4.3)."""
+
+from .absab import absab_log_likelihoods, differential_log_likelihoods
+from .combine import combine_likelihoods
+from .digraph import digraph_log_likelihoods, digraph_log_likelihoods_dense
+from .single import single_byte_log_likelihoods
+
+__all__ = [
+    "absab_log_likelihoods",
+    "combine_likelihoods",
+    "differential_log_likelihoods",
+    "digraph_log_likelihoods",
+    "digraph_log_likelihoods_dense",
+    "single_byte_log_likelihoods",
+]

@@ -1,0 +1,74 @@
+"""Single-byte plaintext likelihoods (paper §4.1, eqs 10-12).
+
+Given ciphertext byte counts at one keystream position and the keystream
+distribution p_k at that position, the log-likelihood of plaintext value
+mu is (up to a constant independent of mu)
+
+    log lambda_mu = sum_k N^mu_k log p_k
+                  = sum_c N_c log p_{c xor mu}
+
+where N_c counts ciphertext value c.  The whole 256-vector of
+log-likelihoods is one gather + matvec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import LikelihoodError
+
+#: XOR outer table: _XOR[mu, c] = mu ^ c.  13 KiB, built once.
+_XOR = np.bitwise_xor.outer(
+    np.arange(256, dtype=np.intp), np.arange(256, dtype=np.intp)
+)
+
+
+def single_byte_log_likelihoods(
+    ciphertext_counts: np.ndarray, keystream_dist: np.ndarray
+) -> np.ndarray:
+    """Log-likelihood of each plaintext value at one position.
+
+    Args:
+        ciphertext_counts: length-256 counts of ciphertext byte values.
+        keystream_dist: length-256 keystream distribution p_k (strictly
+            positive; use Laplace-smoothed empirical distributions).
+
+    Returns:
+        float64 length-256 vector: entry mu is ``log Pr[C | P = mu]``.
+    """
+    counts = np.asarray(ciphertext_counts, dtype=np.float64)
+    dist = np.asarray(keystream_dist, dtype=np.float64)
+    if counts.shape != (256,) or dist.shape != (256,):
+        raise LikelihoodError(
+            f"expected length-256 vectors, got {counts.shape} and {dist.shape}"
+        )
+    if np.any(dist <= 0.0):
+        raise LikelihoodError("keystream distribution must be strictly positive")
+    log_p = np.log(dist)
+    # loglik[mu] = sum_c counts[c] * log_p[mu ^ c]
+    return log_p[_XOR] @ counts
+
+
+def single_byte_log_likelihoods_many(
+    ciphertext_counts: np.ndarray, keystream_dists: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`single_byte_log_likelihoods` over many positions.
+
+    Args:
+        ciphertext_counts: array (L, 256) of counts per position.
+        keystream_dists: array (L, 256) of keystream distributions.
+
+    Returns:
+        float64 array (L, 256) of log-likelihoods.
+    """
+    counts = np.asarray(ciphertext_counts, dtype=np.float64)
+    dists = np.asarray(keystream_dists, dtype=np.float64)
+    if counts.ndim != 2 or counts.shape[1] != 256 or counts.shape != dists.shape:
+        raise LikelihoodError(
+            f"expected matching (L, 256) arrays, got {counts.shape} and {dists.shape}"
+        )
+    if np.any(dists <= 0.0):
+        raise LikelihoodError("keystream distributions must be strictly positive")
+    log_p = np.log(dists)
+    # out[r, mu] = sum_c counts[r, c] * log_p[r, mu ^ c]
+    return np.einsum("rmc,rc->rm", log_p[:, _XOR], counts)

@@ -1,0 +1,82 @@
+"""High-level plaintext-recovery facade.
+
+The attack modules (:mod:`repro.tkip.attack`, :mod:`repro.tls.attack`)
+wire the likelihood and candidate layers together for their specific
+protocols; :class:`PlaintextRecovery` is the small, generic front door
+used by the quickstart example and by downstream users who just have
+"ciphertext counts + a keystream distribution" (the broadcast-RC4
+setting of Mantin-Shamir / AlFardan et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LikelihoodError
+from .candidates.lazy import lazy_candidates
+from .candidates.single_list import algorithm1
+from .likelihood.single import (
+    single_byte_log_likelihoods,
+    single_byte_log_likelihoods_many,
+)
+
+
+class PlaintextRecovery:
+    """Recover fixed plaintext bytes from many independent encryptions.
+
+    Args:
+        keystream_dists: array (L, 256); row r is the keystream
+            distribution at the r-th targeted position.
+    """
+
+    def __init__(self, keystream_dists: np.ndarray) -> None:
+        dists = np.asarray(keystream_dists, dtype=np.float64)
+        if dists.ndim != 2 or dists.shape[1] != 256:
+            raise LikelihoodError(
+                f"keystream_dists must be (L, 256), got {dists.shape}"
+            )
+        self._dists = dists
+
+    @classmethod
+    def single_position(cls, keystream_dist: np.ndarray) -> "PlaintextRecovery":
+        """Recovery for one plaintext byte at one keystream position."""
+        return cls(np.asarray(keystream_dist)[None, :])
+
+    @property
+    def num_positions(self) -> int:
+        return self._dists.shape[0]
+
+    def log_likelihoods(self, ciphertext_counts: np.ndarray) -> np.ndarray:
+        """Per-position log-likelihood matrix (L, 256) from counts."""
+        counts = np.asarray(ciphertext_counts, dtype=np.float64)
+        if counts.ndim == 1:
+            counts = counts[None, :]
+        if counts.shape != self._dists.shape:
+            raise LikelihoodError(
+                f"counts shape {counts.shape} != distributions "
+                f"shape {self._dists.shape}"
+            )
+        return single_byte_log_likelihoods_many(counts, self._dists)
+
+    def most_likely(self, ciphertext_counts: np.ndarray) -> bytes:
+        """The single most likely plaintext (argmax per position)."""
+        lam = self.log_likelihoods(ciphertext_counts)
+        return bytes(int(v) for v in lam.argmax(axis=1))
+
+    def candidates(
+        self, ciphertext_counts: np.ndarray, num_candidates: int
+    ) -> tuple[list[bytes], np.ndarray]:
+        """The N most likely plaintexts (paper Algorithm 1)."""
+        return algorithm1(self.log_likelihoods(ciphertext_counts), num_candidates)
+
+    def iter_candidates(self, ciphertext_counts: np.ndarray):
+        """Stream candidates best-first without materialising a list."""
+        return lazy_candidates(self.log_likelihoods(ciphertext_counts))
+
+
+def most_likely_single(
+    ciphertext_counts: np.ndarray, keystream_dist: np.ndarray
+) -> int:
+    """One-position convenience: the most likely plaintext byte value."""
+    lam = single_byte_log_likelihoods(ciphertext_counts, keystream_dist)
+    return int(lam.argmax())

@@ -1,0 +1,39 @@
+"""Keystream-statistics datasets (paper §3.2) at configurable scale.
+
+The paper generated three main datasets on a distributed cluster:
+
+- ``first16``: Pr[Z_a = x & Z_b = y] for 1 <= a <= 16, 1 <= b <= 256
+  (2**44 keys, ~9 CPU-years);
+- ``consec512``: Pr[Z_r = x & Z_{r+1} = y] for 1 <= r <= 512
+  (2**45 keys, ~16 CPU-years);
+- a long-term variant estimating digraphs at positions 256w + a after
+  dropping 1023 initial bytes (2**12 keys x 2**40 bytes, ~8 CPU-years).
+
+This package reimplements the counting semantics exactly — per-worker
+partial counters merged into a dataset — with numpy kernels and a
+``multiprocessing`` pool substituting for the paper's 80-machine setup.
+Sample counts scale with :class:`repro.config.ReproConfig`.
+"""
+
+from .generate import (
+    consec_digraph_counts,
+    equality_counts,
+    longterm_digraph_counts,
+    pair_counts,
+    single_byte_counts,
+)
+from .manager import DatasetSpec, generate_dataset, merge_counts
+from .store import load_dataset, save_dataset
+
+__all__ = [
+    "DatasetSpec",
+    "consec_digraph_counts",
+    "equality_counts",
+    "generate_dataset",
+    "load_dataset",
+    "longterm_digraph_counts",
+    "merge_counts",
+    "pair_counts",
+    "save_dataset",
+    "single_byte_counts",
+]

@@ -1,0 +1,150 @@
+"""Counting kernels over batches of RC4 keystreams (paper §3.2).
+
+Each kernel consumes a ``(length, n)`` keystream block (the row-major
+output of :meth:`repro.rc4.batch.BatchRC4.keystream_rows`) and updates
+int64 counters.  Like the paper's workers we accumulate into per-chunk
+counters and merge afterwards; unlike the paper we can afford int64
+everywhere (their 16-bit counters were a cache optimisation at 2**30
+keystreams per worker).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rc4.batch import BatchRC4
+
+
+def _keystream_block(keys: np.ndarray, length: int, *, drop: int = 0) -> np.ndarray:
+    batch = BatchRC4(keys)
+    if drop:
+        batch.skip(drop)
+    return batch.keystream_rows(length)
+
+
+def single_byte_counts(
+    keys: np.ndarray, positions: int, *, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Count Z_r = k occurrences for r = 1..positions.
+
+    Returns (or accumulates into ``out``) an int64 array of shape
+    ``(positions, 256)``.
+    """
+    rows = _keystream_block(keys, positions)
+    if out is None:
+        out = np.zeros((positions, 256), dtype=np.int64)
+    for r in range(positions):
+        out[r] += np.bincount(rows[r], minlength=256)
+    return out
+
+
+def consec_digraph_counts(
+    keys: np.ndarray, positions: int, *, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Count consecutive digraphs (Z_r, Z_{r+1}) for r = 1..positions.
+
+    This is the paper's ``consec512`` dataset shape: an int64 array of
+    shape ``(positions, 256, 256)``.  Note the memory cost: 512 positions
+    need 512*65536*8 = 256 MiB; callers choose smaller ranges by default.
+    """
+    rows = _keystream_block(keys, positions + 1)
+    if out is None:
+        out = np.zeros((positions, 256, 256), dtype=np.int64)
+    flat = out.reshape(positions, 65536)
+    for r in range(positions):
+        pair = (rows[r].astype(np.int32) << 8) | rows[r + 1]
+        flat[r] += np.bincount(pair, minlength=65536)
+    return out
+
+
+def pair_counts(
+    keys: np.ndarray,
+    pairs: list[tuple[int, int]],
+    *,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Count joint values of arbitrary position pairs (a, b) with a < b.
+
+    This is the ``first16`` dataset shape restricted to requested pairs:
+    an int64 array of shape ``(len(pairs), 256, 256)``.
+    """
+    if not pairs:
+        raise ValueError("pairs must be non-empty")
+    for a, b in pairs:
+        if a < 1 or b < 1 or a == b:
+            raise ValueError(f"invalid position pair ({a}, {b})")
+    length = max(max(a, b) for a, b in pairs)
+    rows = _keystream_block(keys, length)
+    if out is None:
+        out = np.zeros((len(pairs), 256, 256), dtype=np.int64)
+    flat = out.reshape(len(pairs), 65536)
+    for idx, (a, b) in enumerate(pairs):
+        pair = (rows[a - 1].astype(np.int32) << 8) | rows[b - 1]
+        flat[idx] += np.bincount(pair, minlength=65536)
+    return out
+
+
+def equality_counts(
+    keys: np.ndarray,
+    pairs: list[tuple[int, int]],
+    *,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Count the events Z_a == Z_b for the requested pairs (paper eqs 3-5).
+
+    Returns an int64 array of shape ``(len(pairs), 2)``: column 0 is the
+    number of equal observations, column 1 the number of trials.
+    """
+    if not pairs:
+        raise ValueError("pairs must be non-empty")
+    length = max(max(a, b) for a, b in pairs)
+    rows = _keystream_block(keys, length)
+    n = keys.shape[0]
+    if out is None:
+        out = np.zeros((len(pairs), 2), dtype=np.int64)
+    for idx, (a, b) in enumerate(pairs):
+        out[idx, 0] += int(np.count_nonzero(rows[a - 1] == rows[b - 1]))
+        out[idx, 1] += n
+    return out
+
+
+def longterm_digraph_counts(
+    keys: np.ndarray,
+    stream_len: int,
+    *,
+    drop: int = 1023,
+    gap: int = 0,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Count digraphs (Z_r, Z_{r+1+gap}) aggregated by i = r mod 256.
+
+    This is the long-term dataset of §3.4: initial bytes are dropped, and
+    digraph counts are binned by the PRGA counter so biases whose
+    periodicity divides 256 (all Fluhrer–McGrew biases, the w*256
+    biases) show up.
+
+    Args:
+        keys: key batch; every key contributes ``stream_len`` digraphs.
+        stream_len: digraph observations per key.
+        drop: initial keystream bytes to discard (paper drops 1023).
+        gap: 0 for consecutive digraphs (FM), 1 for the w*256 pairs.
+        out: optional ``(256, 256, 256)`` int64 accumulator indexed
+            ``[i, first, second]``.
+
+    Returns:
+        int64 array of shape ``(256, 256, 256)``.
+    """
+    if out is None:
+        out = np.zeros((256, 256, 256), dtype=np.int64)
+    flat = out.reshape(256, 65536)
+    batch = BatchRC4(keys)
+    if drop:
+        batch.skip(drop)
+    rows = batch.keystream_rows(stream_len + 1 + gap)
+    # Position r (1-indexed within this block) sits at absolute position
+    # drop + r, so the PRGA counter for its output is (drop + r) mod 256.
+    for r in range(stream_len):
+        i = (drop + r + 1) % 256
+        pair = (rows[r].astype(np.int32) << 8) | rows[r + 1 + gap]
+        flat[i] += np.bincount(pair, minlength=65536)
+    return out

@@ -1,0 +1,169 @@
+"""Worker-pool orchestration for dataset generation (paper §3.2).
+
+The paper used ~80 desktop machines plus three servers, each worker
+generating at most 2**30 keystreams before its partial counters were
+merged.  This module is the single-machine analogue: a
+``multiprocessing`` pool of workers, each deriving its own independent
+key stream from a child seed, counting into private int64 arrays, and a
+merge step summing the shards.
+
+Workers are plain module-level functions (picklable) parameterised by a
+:class:`DatasetSpec`; the kernels live in :mod:`repro.datasets.generate`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from ..config import ReproConfig
+from ..errors import DatasetError
+from ..rc4.keygen import derive_keys
+from . import generate as kernels
+
+KindName = Literal["single", "consec", "pairs", "equality", "longterm"]
+
+#: Keys processed per kernel invocation inside one worker; sized so the
+#: batch RC4 state stays cache-resident.
+WORKER_CHUNK = 1 << 14
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Declarative description of a counting job.
+
+    Attributes:
+        kind: which kernel to run.
+        num_keys: total RC4 keys (for ``longterm``: number of keys, each
+            contributing ``stream_len`` digraphs).
+        positions: number of leading positions (single/consec kinds).
+        pairs: position pairs (pairs/equality kinds).
+        stream_len: digraphs per key (longterm kind).
+        drop: initial bytes to drop (longterm kind; paper uses 1023).
+        gap: digraph gap (longterm kind; 0 = FM digraphs, 1 = w*256 pairs).
+        keylen: RC4 key length in bytes.
+        label: seed label so distinct datasets use independent keys.
+    """
+
+    kind: KindName
+    num_keys: int
+    positions: int = 0
+    pairs: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    stream_len: int = 0
+    drop: int = 1023
+    gap: int = 0
+    keylen: int = 16
+    label: str = "dataset"
+
+    def validate(self) -> None:
+        if self.num_keys <= 0:
+            raise DatasetError(f"num_keys must be positive, got {self.num_keys}")
+        if self.kind in ("single", "consec") and self.positions <= 0:
+            raise DatasetError(f"{self.kind} dataset needs positions > 0")
+        if self.kind in ("pairs", "equality") and not self.pairs:
+            raise DatasetError(f"{self.kind} dataset needs position pairs")
+        if self.kind == "longterm" and self.stream_len <= 0:
+            raise DatasetError("longterm dataset needs stream_len > 0")
+
+
+def _run_shard(args: tuple[DatasetSpec, ReproConfig, int, int]) -> np.ndarray:
+    """Worker entry point: count ``shard_keys`` keystreams for one shard."""
+    spec, config, shard_index, shard_keys = args
+    out = _empty_counters(spec)
+    remaining = shard_keys
+    part = 0
+    while remaining > 0:
+        take = min(WORKER_CHUNK, remaining)
+        keys = derive_keys(
+            config,
+            f"{spec.label}/shard{shard_index}/part{part}",
+            take,
+            keylen=spec.keylen,
+        )
+        _accumulate(spec, keys, out)
+        remaining -= take
+        part += 1
+    return out
+
+
+def _empty_counters(spec: DatasetSpec) -> np.ndarray:
+    if spec.kind == "single":
+        return np.zeros((spec.positions, 256), dtype=np.int64)
+    if spec.kind == "consec":
+        return np.zeros((spec.positions, 256, 256), dtype=np.int64)
+    if spec.kind == "pairs":
+        return np.zeros((len(spec.pairs), 256, 256), dtype=np.int64)
+    if spec.kind == "equality":
+        return np.zeros((len(spec.pairs), 2), dtype=np.int64)
+    if spec.kind == "longterm":
+        return np.zeros((256, 256, 256), dtype=np.int64)
+    raise DatasetError(f"unknown dataset kind {spec.kind!r}")
+
+
+def _accumulate(spec: DatasetSpec, keys: np.ndarray, out: np.ndarray) -> None:
+    if spec.kind == "single":
+        kernels.single_byte_counts(keys, spec.positions, out=out)
+    elif spec.kind == "consec":
+        kernels.consec_digraph_counts(keys, spec.positions, out=out)
+    elif spec.kind == "pairs":
+        kernels.pair_counts(keys, list(spec.pairs), out=out)
+    elif spec.kind == "equality":
+        kernels.equality_counts(keys, list(spec.pairs), out=out)
+    elif spec.kind == "longterm":
+        kernels.longterm_digraph_counts(
+            keys, spec.stream_len, drop=spec.drop, gap=spec.gap, out=out
+        )
+    else:
+        raise DatasetError(f"unknown dataset kind {spec.kind!r}")
+
+
+def merge_counts(shards: list[np.ndarray]) -> np.ndarray:
+    """Merge per-worker counters (the paper's combine step)."""
+    if not shards:
+        raise DatasetError("no shards to merge")
+    total = np.zeros_like(shards[0])
+    for shard in shards:
+        if shard.shape != total.shape:
+            raise DatasetError(
+                f"shard shape {shard.shape} != expected {total.shape}"
+            )
+        total += shard
+    return total
+
+
+def generate_dataset(
+    spec: DatasetSpec,
+    config: ReproConfig,
+    *,
+    processes: int | None = None,
+) -> np.ndarray:
+    """Generate a dataset, optionally in parallel.
+
+    Args:
+        spec: the counting job.
+        config: run configuration (seeding + scale already applied by the
+            caller to ``spec.num_keys``).
+        processes: worker processes; None = ``min(cpu, shards)``,
+            1 = run inline (no pool — used by tests for determinism of
+            coverage tools).
+    """
+    spec.validate()
+    num_shards = max(1, min(32, spec.num_keys // WORKER_CHUNK))
+    base, extra = divmod(spec.num_keys, num_shards)
+    shard_sizes = [base + (1 if s < extra else 0) for s in range(num_shards)]
+    shard_args = [
+        (spec, config, index, size)
+        for index, size in enumerate(shard_sizes)
+        if size > 0
+    ]
+    if processes is None:
+        processes = min(mp.cpu_count(), len(shard_args))
+    if processes <= 1 or len(shard_args) == 1:
+        shards = [_run_shard(args) for args in shard_args]
+    else:
+        with mp.get_context("fork").Pool(processes) as pool:
+            shards = pool.map(_run_shard, shard_args)
+    return merge_counts(shards)

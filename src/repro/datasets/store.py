@@ -1,0 +1,56 @@
+"""On-disk dataset store: counters plus the spec that produced them.
+
+Thin wrapper over :mod:`repro.utils.serialization` that records the
+:class:`~repro.datasets.manager.DatasetSpec` fields in the metadata and
+validates them on load, so cached statistics are never silently reused
+for a different experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..utils.serialization import load_arrays, save_arrays
+from .manager import DatasetSpec
+
+
+def save_dataset(path: str | Path, counts: np.ndarray, spec: DatasetSpec) -> Path:
+    """Persist counters and their generating spec."""
+    meta = {"spec": _spec_to_meta(spec)}
+    return save_arrays(path, {"counts": counts}, meta)
+
+
+def load_dataset(
+    path: str | Path, expected_spec: DatasetSpec | None = None
+) -> tuple[np.ndarray, DatasetSpec]:
+    """Load counters; optionally require that the stored spec matches."""
+    arrays, meta = load_arrays(path)
+    if "counts" not in arrays:
+        raise DatasetError(f"{path}: no 'counts' array")
+    spec = _spec_from_meta(meta.get("spec"))
+    if expected_spec is not None and spec != expected_spec:
+        raise DatasetError(
+            f"{path}: stored spec {spec} does not match expected {expected_spec}"
+        )
+    return arrays["counts"], spec
+
+
+def _spec_to_meta(spec: DatasetSpec) -> dict:
+    meta = asdict(spec)
+    meta["pairs"] = [list(p) for p in spec.pairs]
+    return meta
+
+
+def _spec_from_meta(meta: object) -> DatasetSpec:
+    if not isinstance(meta, dict):
+        raise DatasetError("dataset metadata is missing the generating spec")
+    fields = dict(meta)
+    fields["pairs"] = tuple(tuple(p) for p in fields.get("pairs", ()))
+    try:
+        return DatasetSpec(**fields)
+    except TypeError as exc:
+        raise DatasetError(f"bad dataset spec metadata: {meta!r}") from exc

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class.  Subclasses mirror the major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Invalid scaling/seed configuration."""
+
+
+class KeyLengthError(ReproError):
+    """An RC4 key is empty or longer than 256 bytes."""
+
+
+class DatasetError(ReproError):
+    """A keystream-statistics dataset is malformed or incompatible."""
+
+
+class DistributionError(ReproError):
+    """A keystream distribution is malformed (wrong shape, not normalised)."""
+
+
+class LikelihoodError(ReproError):
+    """Likelihood computation received inconsistent inputs."""
+
+
+class CandidateError(ReproError):
+    """Candidate enumeration received inconsistent inputs."""
+
+
+class PacketError(ReproError):
+    """A network packet could not be built or parsed."""
+
+
+class MichaelError(ReproError):
+    """Michael MIC computation or inversion failed."""
+
+
+class TkipError(ReproError):
+    """TKIP encapsulation/decapsulation failure (bad ICV, bad MIC, replay)."""
+
+
+class TlsError(ReproError):
+    """TLS record protocol failure (bad MAC, bad length, bad sequence)."""
+
+
+class AttackError(ReproError):
+    """An attack pipeline could not complete (e.g. no candidate survived)."""

@@ -1,0 +1,22 @@
+"""Network packet substrate: LLC/SNAP, IPv4 and TCP with checksums.
+
+The TKIP attack (paper §5) decrypts a TCP packet carried in an 802.11
+frame; the pruning trick relies on the IP and TCP checksums being
+verifiable redundancy.  This package implements exactly the header
+building/parsing the attack needs, from scratch, with the standard
+Internet checksum.
+"""
+
+from .checksum import internet_checksum
+from .ip import IPv4Header
+from .llc import LLC_SNAP_IPV4, LlcSnapHeader
+from .tcp import TcpHeader, tcp_checksum
+
+__all__ = [
+    "IPv4Header",
+    "LLC_SNAP_IPV4",
+    "LlcSnapHeader",
+    "TcpHeader",
+    "internet_checksum",
+    "tcp_checksum",
+]

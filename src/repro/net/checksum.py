@@ -1,0 +1,19 @@
+"""The Internet checksum (RFC 1071) used by IPv4 and TCP."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement sum of 16-bit words, complemented.
+
+    Odd-length input is padded with a trailing zero byte, per RFC 1071.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for offset in range(0, len(data), 2):
+        total += (data[offset] << 8) | data[offset + 1]
+    # Fold carries until the sum fits 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF

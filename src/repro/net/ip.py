@@ -1,0 +1,111 @@
+"""IPv4 header construction and parsing (RFC 791, no options)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from ..errors import PacketError
+from .checksum import internet_checksum
+
+PROTO_TCP = 6
+_FORMAT = ">BBHHHBBH4s4s"
+HEADER_LEN = struct.calcsize(_FORMAT)  # 20
+
+
+def _pack_addr(addr: str) -> bytes:
+    parts = addr.split(".")
+    if len(parts) != 4:
+        raise PacketError(f"bad IPv4 address {addr!r}")
+    try:
+        octets = bytes(int(p) for p in parts)
+    except ValueError as exc:
+        raise PacketError(f"bad IPv4 address {addr!r}") from exc
+    if any(int(p) > 255 or int(p) < 0 for p in parts):
+        raise PacketError(f"bad IPv4 address {addr!r}")
+    return octets
+
+
+def _unpack_addr(raw: bytes) -> str:
+    return ".".join(str(b) for b in raw)
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """A 20-byte IPv4 header (no options).
+
+    ``checksum = None`` means "compute on build"; a stored value is
+    emitted verbatim so tests can construct corrupt packets.
+    """
+
+    source: str
+    destination: str
+    total_length: int
+    ttl: int = 64
+    protocol: int = PROTO_TCP
+    identification: int = 0
+    flags_fragment: int = 0x4000  # don't-fragment, offset 0
+    tos: int = 0
+    checksum: int | None = None
+
+    def build(self) -> bytes:
+        """Serialise, computing the checksum unless one was forced."""
+        if not 0 <= self.ttl <= 255:
+            raise PacketError(f"bad TTL {self.ttl}")
+        if self.total_length < HEADER_LEN or self.total_length > 0xFFFF:
+            raise PacketError(f"bad total length {self.total_length}")
+        header = struct.pack(
+            _FORMAT,
+            (4 << 4) | 5,  # version 4, IHL 5 words
+            self.tos,
+            self.total_length,
+            self.identification,
+            self.flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,
+            _pack_addr(self.source),
+            _pack_addr(self.destination),
+        )
+        csum = self.checksum
+        if csum is None:
+            csum = internet_checksum(header)
+        return header[:10] + struct.pack(">H", csum) + header[12:]
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IPv4Header":
+        """Parse the first 20 bytes; raises on version/IHL mismatch."""
+        if len(data) < HEADER_LEN:
+            raise PacketError(f"IPv4 header needs {HEADER_LEN} bytes, got {len(data)}")
+        (
+            ver_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = struct.unpack(_FORMAT, data[:HEADER_LEN])
+        if ver_ihl != ((4 << 4) | 5):
+            raise PacketError(f"unsupported version/IHL byte {ver_ihl:#x}")
+        return cls(
+            source=_unpack_addr(src),
+            destination=_unpack_addr(dst),
+            total_length=total_length,
+            ttl=ttl,
+            protocol=protocol,
+            identification=identification,
+            flags_fragment=flags_fragment,
+            tos=tos,
+            checksum=checksum,
+        )
+
+    def checksum_valid(self) -> bool:
+        """True if the stored checksum matches the header contents."""
+        if self.checksum is None:
+            return True
+        rebuilt = replace(self, checksum=None).build()
+        return rebuilt[10:12] == struct.pack(">H", self.checksum)

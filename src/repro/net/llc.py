@@ -1,0 +1,42 @@
+"""LLC/SNAP encapsulation for 802.11 data frames (IEEE 802.2).
+
+Encrypted TKIP payloads start with an 8-byte LLC/SNAP header
+(AA AA 03 00 00 00 + ethertype); the attack counts on these bytes being
+known plaintext (paper §5.2-§5.3: "the total size of the LLC/SNAP, IP,
+and TCP header is 48 bytes").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import PacketError
+
+ETHERTYPE_IPV4 = 0x0800
+HEADER_LEN = 8
+
+
+@dataclass(frozen=True)
+class LlcSnapHeader:
+    """The 8-byte LLC/SNAP header."""
+
+    ethertype: int = ETHERTYPE_IPV4
+
+    def build(self) -> bytes:
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise PacketError(f"bad ethertype {self.ethertype:#x}")
+        return b"\xaa\xaa\x03\x00\x00\x00" + struct.pack(">H", self.ethertype)
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["LlcSnapHeader", bytes]:
+        if len(data) < HEADER_LEN:
+            raise PacketError(f"LLC/SNAP needs {HEADER_LEN} bytes, got {len(data)}")
+        if data[:6] != b"\xaa\xaa\x03\x00\x00\x00":
+            raise PacketError(f"not an LLC/SNAP header: {data[:6].hex()}")
+        (ethertype,) = struct.unpack(">H", data[6:8])
+        return cls(ethertype=ethertype), data[HEADER_LEN:]
+
+
+#: The standard header for IPv4 payloads.
+LLC_SNAP_IPV4 = LlcSnapHeader(ETHERTYPE_IPV4)

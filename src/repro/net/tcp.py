@@ -1,0 +1,128 @@
+"""TCP header construction and parsing (RFC 793, no options)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from ..errors import PacketError
+from .checksum import internet_checksum
+from .ip import PROTO_TCP, _pack_addr
+
+_FORMAT = ">HHIIBBHHH"
+HEADER_LEN = struct.calcsize(_FORMAT)  # 20
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+
+def tcp_checksum(
+    source_ip: str, dest_ip: str, segment: bytes
+) -> int:
+    """TCP checksum over the IPv4 pseudo-header plus the segment."""
+    pseudo = (
+        _pack_addr(source_ip)
+        + _pack_addr(dest_ip)
+        + struct.pack(">BBH", 0, PROTO_TCP, len(segment))
+    )
+    return internet_checksum(pseudo + segment)
+
+
+@dataclass(frozen=True)
+class TcpHeader:
+    """A 20-byte TCP header (no options).
+
+    ``checksum = None`` means "compute on build" (requires the IP
+    endpoints and payload); a stored value is emitted verbatim.
+    """
+
+    source_port: int
+    dest_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = FLAG_ACK | FLAG_PSH
+    window: int = 0xFFFF
+    urgent: int = 0
+    checksum: int | None = None
+
+    def build(
+        self,
+        *,
+        source_ip: str | None = None,
+        dest_ip: str | None = None,
+        payload: bytes = b"",
+    ) -> bytes:
+        """Serialise header + payload, computing the checksum if needed."""
+        for name, value, limit in (
+            ("source_port", self.source_port, 0xFFFF),
+            ("dest_port", self.dest_port, 0xFFFF),
+            ("seq", self.seq, 0xFFFFFFFF),
+            ("ack", self.ack, 0xFFFFFFFF),
+        ):
+            if not 0 <= value <= limit:
+                raise PacketError(f"bad {name} {value}")
+        header = struct.pack(
+            _FORMAT,
+            self.source_port,
+            self.dest_port,
+            self.seq,
+            self.ack,
+            (HEADER_LEN // 4) << 4,  # data offset, no options
+            self.flags,
+            self.window,
+            0,
+            self.urgent,
+        )
+        csum = self.checksum
+        if csum is None:
+            if source_ip is None or dest_ip is None:
+                raise PacketError("need IP endpoints to compute TCP checksum")
+            csum = tcp_checksum(source_ip, dest_ip, header + payload)
+        return header[:16] + struct.pack(">H", csum) + header[18:] + payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["TcpHeader", bytes]:
+        """Parse header and return (header, payload)."""
+        if len(data) < HEADER_LEN:
+            raise PacketError(f"TCP header needs {HEADER_LEN} bytes, got {len(data)}")
+        (
+            source_port,
+            dest_port,
+            seq,
+            ack,
+            offset_byte,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = struct.unpack(_FORMAT, data[:HEADER_LEN])
+        offset = (offset_byte >> 4) * 4
+        if offset < HEADER_LEN or offset > len(data):
+            raise PacketError(f"bad TCP data offset {offset}")
+        header = cls(
+            source_port=source_port,
+            dest_port=dest_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent=urgent,
+            checksum=checksum,
+        )
+        return header, data[offset:]
+
+    def checksum_valid(
+        self, source_ip: str, dest_ip: str, payload: bytes
+    ) -> bool:
+        """True if the stored checksum matches header + payload."""
+        if self.checksum is None:
+            return True
+        segment = replace(self, checksum=0).build(
+            source_ip=source_ip, dest_ip=dest_ip, payload=payload
+        )
+        # Rebuild with zero checksum field and recompute.
+        zeroed = segment[:16] + b"\x00\x00" + segment[18:]
+        return tcp_checksum(source_ip, dest_ip, zeroed) == self.checksum

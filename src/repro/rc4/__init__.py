@@ -1,0 +1,30 @@
+"""RC4 cipher substrate (paper §2.1).
+
+Two implementations are provided and cross-tested against each other:
+
+- :mod:`repro.rc4.reference` — a byte-at-a-time pure-Python RC4 that reads
+  like the paper's Figure 1 pseudo-code.  Used for correctness and for
+  encrypting individual protocol messages.
+- :mod:`repro.rc4.batch` — a numpy implementation that steps many RC4
+  instances in lock-step, one vectorised operation per PRGA round.  Used
+  to regenerate keystream statistics at the largest scale this
+  reproduction can afford (paper §3.2 used a distributed C setup).
+"""
+
+from .batch import BatchRC4, batch_keystream
+from .keygen import KeystreamKeySource, derive_keys
+from .reference import RC4, ksa, prga, rc4_crypt, rc4_keystream
+from .stream import RC4Stream
+
+__all__ = [
+    "RC4",
+    "BatchRC4",
+    "KeystreamKeySource",
+    "RC4Stream",
+    "batch_keystream",
+    "derive_keys",
+    "ksa",
+    "prga",
+    "rc4_crypt",
+    "rc4_keystream",
+]

@@ -1,0 +1,90 @@
+"""Deterministic generation of independent random RC4 keys.
+
+The paper's workers derived random 128-bit RC4 keys from a per-worker AES
+key using AES in counter mode (§3.2).  No AES primitive is available in
+this offline environment, so we substitute SHA-256 in counter mode — also
+a PRF, and interchangeable for the purpose of producing independent
+uniform keys (documented in DESIGN.md).  For bulk statistics we expose a
+numpy-PCG64 fast path; PCG64 passes the statistical test batteries that
+matter at our sample sizes and is orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+from ..config import ReproConfig
+
+
+class KeystreamKeySource:
+    """Produces batches of uniform RC4 keys, mirroring one paper worker.
+
+    Args:
+        worker_seed: bytes identifying this worker (the paper used a
+            cryptographically random AES key per worker).
+        keylen: RC4 key length in bytes (the paper uses 16 = 128-bit).
+        cryptographic: if True, derive keys with SHA-256 counter mode; if
+            False (default), use numpy's PCG64 seeded from ``worker_seed``.
+    """
+
+    def __init__(
+        self,
+        worker_seed: bytes,
+        *,
+        keylen: int = 16,
+        cryptographic: bool = False,
+    ) -> None:
+        if keylen < 1 or keylen > 256:
+            raise ValueError(f"keylen must be 1..256, got {keylen}")
+        self._seed = bytes(worker_seed)
+        self._keylen = keylen
+        self._cryptographic = cryptographic
+        self._counter = 0
+        digest = hashlib.sha256(b"repro-keysource" + self._seed).digest()
+        self._rng = np.random.default_rng(np.frombuffer(digest, dtype=np.uint64))
+
+    @property
+    def keylen(self) -> int:
+        return self._keylen
+
+    def next_keys(self, count: int) -> np.ndarray:
+        """Return a ``(count, keylen)`` uint8 array of fresh keys."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if self._cryptographic:
+            return self._next_keys_sha256(count)
+        return self._rng.integers(0, 256, size=(count, self._keylen), dtype=np.uint8)
+
+    def _next_keys_sha256(self, count: int) -> np.ndarray:
+        needed = count * self._keylen
+        blocks = []
+        produced = 0
+        while produced < needed:
+            block = hashlib.sha256(
+                self._seed + struct.pack(">Q", self._counter)
+            ).digest()
+            self._counter += 1
+            blocks.append(block)
+            produced += len(block)
+        material = b"".join(blocks)[:needed]
+        return np.frombuffer(material, dtype=np.uint8).reshape(count, self._keylen).copy()
+
+
+def derive_keys(
+    config: ReproConfig,
+    label: str,
+    count: int,
+    *,
+    keylen: int = 16,
+) -> np.ndarray:
+    """Derive ``count`` deterministic uniform RC4 keys for a named purpose.
+
+    Child-seeded from the run configuration so different labels never share
+    key streams (the batch-generation analogue of the paper's independent
+    workers).
+    """
+    rng = config.rng("rc4-keys", label)
+    return rng.integers(0, 256, size=(count, keylen), dtype=np.uint8)

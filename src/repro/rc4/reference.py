@@ -1,0 +1,105 @@
+"""Reference RC4: Key Scheduling Algorithm and PRGA (paper §2.1, Fig. 1).
+
+This implementation favours being an executable specification: `ksa` and
+`prga` mirror Listings 1 and 2 of the paper line for line.  The
+:class:`RC4` class wraps them in a stateful cipher object used by the TKIP
+and TLS substrates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import KeyLengthError
+
+
+def _check_key(key: bytes) -> bytes:
+    key = bytes(key)
+    if not 1 <= len(key) <= 256:
+        raise KeyLengthError(f"RC4 key must be 1..256 bytes, got {len(key)}")
+    return key
+
+
+def ksa(key: bytes) -> list[int]:
+    """Run the Key Scheduling Algorithm; return the initial permutation S.
+
+    Mirrors Listing 1 of the paper: ``j += S[i] + key[i % len(key)]``
+    followed by ``swap(S[i], S[j])`` for ``i`` in ``0..255`` (mod 256).
+    """
+    key = _check_key(key)
+    state = list(range(256))
+    j = 0
+    for i in range(256):
+        j = (j + state[i] + key[i % len(key)]) & 0xFF
+        state[i], state[j] = state[j], state[i]
+    return state
+
+
+def prga(state: list[int]) -> Iterator[int]:
+    """Yield keystream bytes Z_1, Z_2, ... from permutation ``state``.
+
+    Mirrors Listing 2 of the paper.  The input list is copied, so callers
+    may reuse the KSA output.
+    """
+    state = list(state)
+    i = j = 0
+    while True:
+        i = (i + 1) & 0xFF
+        j = (j + state[i]) & 0xFF
+        state[i], state[j] = state[j], state[i]
+        yield state[(state[i] + state[j]) & 0xFF]
+
+
+def rc4_keystream(key: bytes, length: int, *, drop: int = 0) -> bytes:
+    """Return ``length`` keystream bytes for ``key``.
+
+    Args:
+        key: RC4 key (1..256 bytes).
+        length: number of keystream bytes to produce.
+        drop: number of initial keystream bytes to discard first
+            (RC4-drop[n]; Mironov recommends n = 12*256, paper §7).
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    gen = prga(ksa(key))
+    for _ in range(drop):
+        next(gen)
+    return bytes(next(gen) for _ in range(length))
+
+
+def rc4_crypt(key: bytes, data: bytes, *, drop: int = 0) -> bytes:
+    """Encrypt (= decrypt) ``data`` under ``key``: C_r = P_r xor Z_r."""
+    stream = rc4_keystream(key, len(data), drop=drop)
+    return bytes(p ^ z for p, z in zip(data, stream))
+
+
+class RC4:
+    """Stateful RC4 cipher: repeated calls continue the same keystream.
+
+    This is the object the TLS record layer holds per direction — RC4 in
+    TLS is initialised once per connection and never rekeyed (paper §2.3).
+    """
+
+    def __init__(self, key: bytes, *, drop: int = 0) -> None:
+        self._generator = prga(ksa(key))
+        self._position = 0
+        for _ in range(drop):
+            next(self._generator)
+
+    @property
+    def position(self) -> int:
+        """Number of keystream bytes consumed so far (after any drop)."""
+        return self._position
+
+    def keystream(self, length: int) -> bytes:
+        """Consume and return the next ``length`` keystream bytes."""
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        out = bytes(next(self._generator) for _ in range(length))
+        self._position += length
+        return out
+
+    def crypt(self, data: bytes) -> bytes:
+        """Encrypt/decrypt ``data``, advancing the keystream."""
+        stream = self.keystream(len(data))
+        return bytes(p ^ z for p, z in zip(data, stream))

@@ -1,0 +1,119 @@
+"""Packet-level HTTPS attack simulation: the full §6 pipeline, small N.
+
+A victim browser holds a secure cookie for the target site; the attacker
+(a) manipulates the cookie jar over plain HTTP, (b) drives background
+HTTPS requests via injected JavaScript, (c) sniffs the encrypted records,
+and (d) runs the combined-bias recovery plus brute force.  Every byte is
+produced by the real record layer (PRF-derived keys, HMAC-SHA1, RC4).
+
+The statistic-level path (:meth:`HttpsAttackSimulation.sampled_statistics`)
+produces the identical sufficient statistics at paper scale by sampling
+the model-induced multinomials; benchmarks use it for Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..biases.fluhrer_mcgrew import fm_digraph_distribution, position_to_counter
+from ..config import ReproConfig
+from ..errors import AttackError
+from ..tls.attack import (
+    CookieAttackResult,
+    CookieLayout,
+    CookieStatistics,
+    run_attack,
+)
+from ..tls.bruteforce import BruteForceOracle
+from ..tls.cookies import COOKIE_CHARSET, random_cookie
+from ..tls.http import CookieJar
+from ..tls.mitm import MitmCampaign
+from .sampling import sample_absab_differential_counts, sample_digraph_counts
+
+TARGET_HOST = "site.com"
+TARGET_COOKIE = "auth"
+
+
+@dataclass
+class HttpsAttackSimulation:
+    """A complete simulated HTTPS victim under the §6 attack.
+
+    Args:
+        config: run configuration (seeding).
+        cookie_len: length of the secret cookie (paper attacks 16 chars).
+        max_gap: ABSAB gap cap (paper uses 128).
+    """
+
+    config: ReproConfig
+    cookie_len: int = 16
+    max_gap: int = 128
+
+    def __post_init__(self) -> None:
+        rng = self.config.rng("https-sim", "cookie")
+        secret = random_cookie(rng, self.cookie_len)
+        jar = CookieJar()
+        jar.set_cookie("tracking", b"abcdef0123")
+        jar.set_cookie(TARGET_COOKIE, secret, secure=True)
+        jar.set_cookie("prefs", b"lang-en")
+        self.campaign = MitmCampaign.prepare(jar, TARGET_COOKIE, TARGET_HOST)
+        self.secret = secret
+        self.layout = CookieLayout.from_template(
+            self.campaign.template, self.cookie_len
+        )
+
+    def capture_statistics(self, num_requests: int) -> CookieStatistics:
+        """Packet-level capture: real TLS traffic, sniffed and counted."""
+        rng = self.config.rng("https-sim", "traffic")
+        sniffer = self.campaign.run(num_requests, rng)
+        stats = CookieStatistics.empty(self.layout, max_gap=self.max_gap)
+        stats.ingest_sniffer(sniffer)
+        return stats
+
+    def sampled_statistics(
+        self, num_requests: int, *, method: str = "multinomial"
+    ) -> CookieStatistics:
+        """Statistic-level capture (exact distributional equivalent).
+
+        For every transition digraph, draw the ciphertext digraph counts
+        from the Fluhrer–McGrew model; for every ABSAB alignment, draw
+        differential counts from the alpha(g) model.  See DESIGN.md for
+        why this matches a real capture of ``num_requests`` requests.
+        """
+        layout = self.layout
+        plaintext = self.campaign.request_plaintext()
+        stats = CookieStatistics.empty(layout, max_gap=self.max_gap)
+        stats.num_requests = num_requests
+        rng = self.config.rng("https-sim", "sampled", num_requests)
+
+        def pbyte(position: int) -> int:
+            return plaintext[position - layout.base_offset]
+
+        transitions = layout.transitions()
+        for t, r in enumerate(transitions):
+            dist = fm_digraph_distribution(position_to_counter(r))
+            stats.fm_counts[t] = sample_digraph_counts(
+                dist, num_requests, (pbyte(r), pbyte(r + 1)), seed=rng, method=method
+            )
+        for (t, gap, side), counts in stats.absab_counts.items():
+            r = transitions[t]
+            if side == "after":
+                partner = (pbyte(r + 2 + gap), pbyte(r + 3 + gap))
+            else:
+                partner = (pbyte(r - 2 - gap), pbyte(r - 1 - gap))
+            diff = (pbyte(r) ^ partner[0], pbyte(r + 1) ^ partner[1])
+            counts[:] = sample_absab_differential_counts(
+                gap, num_requests, diff, seed=rng, method=method
+            )
+        return stats
+
+    def attack(
+        self, stats: CookieStatistics, *, num_candidates: int = 1 << 13
+    ) -> CookieAttackResult:
+        """Candidate generation + brute force; verifies against truth."""
+        oracle = BruteForceOracle(self.secret)
+        result = run_attack(stats, oracle, num_candidates=num_candidates)
+        if result.cookie != self.secret:
+            raise AttackError("oracle accepted a wrong cookie (impossible)")
+        return result

@@ -1,0 +1,50 @@
+"""Statistical hypothesis-testing framework for bias hunting (paper §3.1).
+
+The paper detects biases by rejecting one of two null hypotheses:
+
+- *single-byte*: a keystream byte is uniformly distributed — tested with
+  a chi-squared goodness-of-fit test (:func:`chi2_uniformity_test`);
+- *double-byte*: two keystream bytes are independent — tested with the
+  Fuchs–Kenett M-test (:func:`m_test`), which is asymptotically more
+  powerful than the chi-squared independence test when only a few cells
+  are outliers (exactly the Fluhrer–McGrew situation: at most 8 of 65536
+  pairs biased).
+
+Per-cell follow-up uses two-sided proportion tests
+(:func:`proportion_test`), and the family-wise error rate over many tests
+is controlled with Holm's method (:func:`holm`).  The rejection threshold
+used throughout the paper — p < 1e-4 — is exposed as
+:data:`PAPER_ALPHA`.
+"""
+
+from .chi2 import chi2_gof_test, chi2_uniformity_test
+from .detect import (
+    BiasDetector,
+    DetectedCell,
+    DetectionReport,
+    relative_bias,
+)
+from .llr import llr_model_comparison
+from .mtest import m_test
+from .multiple import holm
+from .power import required_samples, detectable_relative_bias
+from .proportion import proportion_test, proportion_test_many
+
+PAPER_ALPHA = 1e-4
+
+__all__ = [
+    "PAPER_ALPHA",
+    "BiasDetector",
+    "DetectedCell",
+    "DetectionReport",
+    "chi2_gof_test",
+    "chi2_uniformity_test",
+    "detectable_relative_bias",
+    "holm",
+    "llr_model_comparison",
+    "m_test",
+    "proportion_test",
+    "proportion_test_many",
+    "relative_bias",
+    "required_samples",
+]

@@ -1,0 +1,63 @@
+"""Chi-squared goodness-of-fit tests (paper §3.1, single-byte hypothesis).
+
+The null hypothesis for a single keystream position is that the byte is
+uniform over {0..255}.  We implement the statistic directly (it is three
+numpy lines) and take the survival function from scipy; the test suite
+cross-checks against :func:`scipy.stats.chisquare`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class Chi2Result:
+    """Outcome of a chi-squared goodness-of-fit test."""
+
+    statistic: float
+    dof: int
+    p_value: float
+
+    def rejects(self, alpha: float) -> bool:
+        """True if the null hypothesis is rejected at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def chi2_gof_test(observed: np.ndarray, expected: np.ndarray) -> Chi2Result:
+    """Chi-squared goodness-of-fit of ``observed`` counts to ``expected``.
+
+    Args:
+        observed: integer counts per category.
+        expected: expected counts per category (same total as observed).
+    """
+    observed = np.asarray(observed, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if observed.shape != expected.shape:
+        raise ValueError(f"shape mismatch: {observed.shape} vs {expected.shape}")
+    if np.any(expected <= 0):
+        raise ValueError("expected counts must be positive")
+    total_obs, total_exp = observed.sum(), expected.sum()
+    if not np.isclose(total_obs, total_exp, rtol=1e-8):
+        raise ValueError(
+            f"observed total {total_obs} != expected total {total_exp}; "
+            "chi-squared GoF requires matching totals"
+        )
+    statistic = float(((observed - expected) ** 2 / expected).sum())
+    dof = observed.size - 1
+    p_value = float(_scipy_stats.chi2.sf(statistic, dof))
+    return Chi2Result(statistic=statistic, dof=dof, p_value=p_value)
+
+
+def chi2_uniformity_test(observed: np.ndarray) -> Chi2Result:
+    """Test ``observed`` counts against the uniform distribution.
+
+    This is the paper's single-byte null hypothesis: keystream byte values
+    are uniform over the 256 possible values.
+    """
+    observed = np.asarray(observed, dtype=np.float64)
+    expected = np.full_like(observed, observed.sum() / observed.size)
+    return chi2_gof_test(observed, expected)

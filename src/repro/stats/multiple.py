@@ -1,0 +1,59 @@
+"""Holm's step-down method for family-wise error control (paper §3.1).
+
+The paper runs thousands of hypothesis tests per dataset and controls the
+probability of even a single false positive with Holm's method.  Holm's
+procedure is uniformly more powerful than plain Bonferroni and needs no
+independence assumptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def holm(p_values: np.ndarray, alpha: float) -> np.ndarray:
+    """Holm step-down multiple-testing correction.
+
+    Sorts the p-values ascending and rejects H_(i) while
+    ``p_(i) <= alpha / (m - i)`` (0-indexed); the first failure stops the
+    procedure, guaranteeing FWER <= alpha.
+
+    Args:
+        p_values: 1-D array of raw p-values.
+        alpha: family-wise error rate to control.
+
+    Returns:
+        Boolean array, True where the hypothesis is rejected.
+    """
+    p_values = np.asarray(p_values, dtype=np.float64)
+    if p_values.ndim != 1:
+        raise ValueError(f"p_values must be 1-D, got shape {p_values.shape}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    m = p_values.size
+    if m == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.argsort(p_values)
+    thresholds = alpha / (m - np.arange(m))
+    sorted_ok = p_values[order] <= thresholds
+    # Step-down: rejection stops at the first failure.
+    cutoff = int(np.argmin(sorted_ok)) if not sorted_ok.all() else m
+    rejected = np.zeros(m, dtype=bool)
+    rejected[order[:cutoff]] = True
+    return rejected
+
+
+def holm_adjusted(p_values: np.ndarray) -> np.ndarray:
+    """Holm-adjusted p-values (monotone, comparable directly to alpha)."""
+    p_values = np.asarray(p_values, dtype=np.float64)
+    if p_values.ndim != 1:
+        raise ValueError(f"p_values must be 1-D, got shape {p_values.shape}")
+    m = p_values.size
+    if m == 0:
+        return np.zeros(0)
+    order = np.argsort(p_values)
+    scaled = p_values[order] * (m - np.arange(m))
+    adjusted_sorted = np.minimum(1.0, np.maximum.accumulate(scaled))
+    adjusted = np.empty(m)
+    adjusted[order] = adjusted_sorted
+    return adjusted

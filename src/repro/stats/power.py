@@ -1,0 +1,69 @@
+"""Sample-size / power arithmetic for bias detection.
+
+The paper could afford 2**44+ keystreams; this reproduction cannot, so we
+make the trade-off explicit: for a target relative bias q on a cell with
+null probability p, how many samples are needed before a two-sided
+proportion test at level alpha rejects with the desired power?  These
+functions size the scaled-down benchmarks and let EXPERIMENTS.md state
+precisely which paper biases are detectable at which scale.
+
+Standard normal-approximation power analysis for a one-sample proportion:
+to detect p1 = p (1 + q) against p0 = p with two-sided level alpha and
+power 1 - beta,
+
+    N ~= ( z_{alpha/2} sqrt(p0 (1-p0)) + z_beta sqrt(p1 (1-p1)) )^2
+         / (p1 - p0)^2
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+
+def required_samples(
+    null_p: float,
+    relative_bias: float,
+    *,
+    alpha: float = 1e-4,
+    power: float = 0.95,
+) -> int:
+    """Samples needed to detect a relative bias ``q`` on a cell of prob ``p``."""
+    if not 0.0 < null_p < 1.0:
+        raise ValueError(f"null_p must be in (0, 1), got {null_p}")
+    if relative_bias == 0.0:
+        raise ValueError("relative_bias must be non-zero")
+    if not 0.0 < alpha < 1.0 or not 0.0 < power < 1.0:
+        raise ValueError("alpha and power must be in (0, 1)")
+    alt_p = null_p * (1.0 + relative_bias)
+    if not 0.0 < alt_p < 1.0:
+        raise ValueError(f"alternative probability {alt_p} out of range")
+    z_alpha = _scipy_stats.norm.isf(alpha / 2.0)
+    z_beta = _scipy_stats.norm.isf(1.0 - power)
+    numer = z_alpha * np.sqrt(null_p * (1 - null_p)) + z_beta * np.sqrt(
+        alt_p * (1 - alt_p)
+    )
+    return int(np.ceil((numer / (alt_p - null_p)) ** 2))
+
+
+def detectable_relative_bias(
+    null_p: float,
+    samples: int,
+    *,
+    alpha: float = 1e-4,
+    power: float = 0.95,
+) -> float:
+    """The smallest relative bias detectable with ``samples`` observations.
+
+    Inverse of :func:`required_samples` (via the symmetric approximation
+    p1(1-p1) ~= p0(1-p0), accurate for the tiny cell probabilities we deal
+    with).
+    """
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    if not 0.0 < null_p < 1.0:
+        raise ValueError(f"null_p must be in (0, 1), got {null_p}")
+    z_alpha = _scipy_stats.norm.isf(alpha / 2.0)
+    z_beta = _scipy_stats.norm.isf(1.0 - power)
+    delta = (z_alpha + z_beta) * np.sqrt(null_p * (1 - null_p) / samples)
+    return float(delta / null_p)

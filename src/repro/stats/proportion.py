@@ -1,0 +1,71 @@
+"""Two-sided proportion tests over value pairs (paper §3.1).
+
+After the M-test flags two positions as dependent, the paper determines
+*which* value pairs are biased by running a proportion test per cell.  For
+cell counts this large a normal approximation is exact enough; the test
+suite cross-checks small cases against scipy's binomtest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class ProportionResult:
+    """Outcome of a two-sided one-sample proportion (z) test."""
+
+    observed: int
+    trials: int
+    null_p: float
+    z: float
+    p_value: float
+
+    def rejects(self, alpha: float) -> bool:
+        return self.p_value < alpha
+
+
+def proportion_test(observed: int, trials: int, null_p: float) -> ProportionResult:
+    """Two-sided z-test of ``observed`` successes in ``trials`` vs ``null_p``."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0.0 < null_p < 1.0:
+        raise ValueError(f"null_p must be in (0, 1), got {null_p}")
+    if not 0 <= observed <= trials:
+        raise ValueError(f"observed must be in [0, {trials}], got {observed}")
+    se = np.sqrt(null_p * (1.0 - null_p) / trials)
+    z = (observed / trials - null_p) / se
+    p_value = float(2.0 * _scipy_stats.norm.sf(abs(z)))
+    return ProportionResult(
+        observed=observed, trials=trials, null_p=null_p, z=float(z), p_value=p_value
+    )
+
+
+def proportion_test_many(
+    observed: np.ndarray,
+    trials: int,
+    null_p: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised two-sided proportion tests over many cells.
+
+    Args:
+        observed: counts per cell.
+        trials: common number of trials.
+        null_p: null probability per cell (broadcastable to observed).
+
+    Returns:
+        ``(z, p_values)`` arrays of the same shape as ``observed``.
+    """
+    observed = np.asarray(observed, dtype=np.float64)
+    null_p = np.broadcast_to(np.asarray(null_p, dtype=np.float64), observed.shape)
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if np.any((null_p <= 0.0) | (null_p >= 1.0)):
+        raise ValueError("null probabilities must be in (0, 1)")
+    se = np.sqrt(null_p * (1.0 - null_p) / trials)
+    z = (observed / trials - null_p) / se
+    p_values = 2.0 * _scipy_stats.norm.sf(np.abs(z))
+    return z, p_values

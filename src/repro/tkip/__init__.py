@@ -1,0 +1,90 @@
+"""WPA-TKIP substrate and attack (paper §2.2 and §5).
+
+Implements, from scratch: the Michael MIC and its inversion, the CRC-32
+ICV, the full two-phase per-packet key mixing (S-box generated from first
+principles), TKIP frame/IV encoding, session encap/decap with replay and
+integrity checks, per-TSC keystream statistics, the identical-packet
+injection campaign, and the decrypt-then-derive-MIC-key attack.
+"""
+
+from .attack import (
+    TkipAttackResult,
+    biased_position_strength,
+    decrypt_mic_icv,
+    payload_choice_report,
+    position_log_likelihoods,
+    run_attack,
+)
+from .crc import Crc32, crc32, icv
+from .frames import TkipFrame, decode_iv, encode_iv
+from .injection import PAPER_INJECTION_RATE, CaptureSet, InjectionCampaign
+from .keymix import (
+    per_packet_key,
+    phase1,
+    phase2,
+    public_key_bytes,
+    simplified_key_batch,
+    simplified_per_packet_key,
+    tsc_split,
+)
+from .michael import michael, michael_header, recover_key
+from .packets import (
+    ICV_LEN,
+    KNOWN_HEADER_LEN,
+    MIC_LEN,
+    TcpPacketSpec,
+    build_protected_msdu,
+    icv_positions,
+    icv_valid,
+    mic_positions,
+    parse_msdu_data,
+    split_protected_msdu,
+)
+from .per_tsc import PerTscDistributions, default_tsc_space, generate_per_tsc
+from .sbox import AES_SBOX, TKIP_SBOX, tkip_s
+from .session import TkipSession
+
+__all__ = [
+    "AES_SBOX",
+    "CaptureSet",
+    "Crc32",
+    "ICV_LEN",
+    "InjectionCampaign",
+    "KNOWN_HEADER_LEN",
+    "MIC_LEN",
+    "PAPER_INJECTION_RATE",
+    "PerTscDistributions",
+    "TKIP_SBOX",
+    "TcpPacketSpec",
+    "TkipAttackResult",
+    "TkipFrame",
+    "TkipSession",
+    "biased_position_strength",
+    "build_protected_msdu",
+    "crc32",
+    "decode_iv",
+    "decrypt_mic_icv",
+    "default_tsc_space",
+    "encode_iv",
+    "generate_per_tsc",
+    "icv",
+    "icv_positions",
+    "icv_valid",
+    "michael",
+    "michael_header",
+    "mic_positions",
+    "parse_msdu_data",
+    "payload_choice_report",
+    "per_packet_key",
+    "phase1",
+    "phase2",
+    "position_log_likelihoods",
+    "public_key_bytes",
+    "recover_key",
+    "run_attack",
+    "simplified_key_batch",
+    "simplified_per_packet_key",
+    "split_protected_msdu",
+    "tkip_s",
+    "tsc_split",
+]

@@ -1,0 +1,68 @@
+"""CRC-32 as used for the WEP/TKIP ICV (paper §5.3).
+
+The ICV is the IEEE 802.3 CRC-32 (reflected, polynomial 0xEDB88320) of
+the plaintext MSDU data plus MIC, appended little-endian and encrypted
+along with the payload.  Because CRC is linear and keyless, it is pure
+*redundancy*: the attack exploits it to prune wrong plaintext candidates
+("we can detect bad candidates by inspecting their CRC checksum").
+
+Implemented table-driven from the polynomial; the test suite cross-checks
+against :func:`zlib.crc32`.  :class:`Crc32` exposes the rolling state so
+the attack can precompute the CRC over the known packet prefix once and
+extend it per candidate MIC cheaply.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return tuple(table)
+
+
+_TABLE = _build_table()
+
+
+class Crc32:
+    """Incremental CRC-32 (IEEE) with copyable state."""
+
+    def __init__(self, state: int | None = None) -> None:
+        self._crc = 0xFFFFFFFF if state is None else state
+
+    def update(self, data: bytes) -> "Crc32":
+        crc = self._crc
+        for byte in data:
+            crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+        self._crc = crc
+        return self
+
+    def copy(self) -> "Crc32":
+        return Crc32(self._crc)
+
+    @property
+    def value(self) -> int:
+        """The finalised CRC-32 value."""
+        return self._crc ^ 0xFFFFFFFF
+
+    def digest(self) -> bytes:
+        """The 4-byte little-endian ICV encoding."""
+        return struct.pack("<I", self.value)
+
+
+def crc32(data: bytes) -> int:
+    """One-shot CRC-32 of ``data``."""
+    return Crc32().update(data).value
+
+
+def icv(data: bytes) -> bytes:
+    """The 4-byte TKIP/WEP ICV of ``data`` (little-endian CRC-32)."""
+    return Crc32().update(data).digest()

@@ -1,0 +1,111 @@
+"""802.11 TKIP data-frame framing: addresses, TKIP IV, replay counter.
+
+A TKIP-protected data frame carries the 48-bit TKIP Sequence Counter
+(TSC) *unencrypted* in an 8-byte IV / Extended-IV block preceding the
+ciphertext (paper §2.2: "The TSC ... is included unencrypted in the MAC
+header").  That public TSC is what makes the per-TSC keystream biases
+exploitable.  The IV encoding deliberately repeats the WEP-seed bytes:
+
+    iv[0] = TSC1, iv[1] = (TSC1 | 0x20) & 0x7F, iv[2] = TSC0,
+    iv[3] = ext-IV flag | key-id,  iv[4..7] = TSC2..TSC5 (little-endian)
+
+We model the frame with the fields the attack needs (addresses, TSC,
+ciphertext) rather than the full 802.11 bit layout; the IV block itself
+is encoded and parsed exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import PacketError
+from .keymix import TSC_MAX
+
+EXT_IV_FLAG = 0x20
+IV_LEN = 8
+
+
+def encode_iv(tsc: int, key_id: int = 0) -> bytes:
+    """Encode the TKIP IV / Extended-IV block for a TSC value."""
+    if not 0 <= tsc <= TSC_MAX:
+        raise PacketError(f"TSC must fit in 48 bits, got {tsc:#x}")
+    if not 0 <= key_id <= 3:
+        raise PacketError(f"key id must be 0..3, got {key_id}")
+    tsc0 = tsc & 0xFF
+    tsc1 = (tsc >> 8) & 0xFF
+    upper = (tsc >> 16) & 0xFFFFFFFF
+    return bytes(
+        (tsc1, (tsc1 | 0x20) & 0x7F, tsc0, EXT_IV_FLAG | (key_id << 6))
+    ) + struct.pack("<I", upper)
+
+
+def decode_iv(iv: bytes) -> tuple[int, int]:
+    """Decode an IV block back to (tsc, key_id); validates the seed bytes."""
+    if len(iv) != IV_LEN:
+        raise PacketError(f"TKIP IV must be {IV_LEN} bytes, got {len(iv)}")
+    tsc1, seed1, tsc0, flags = iv[0], iv[1], iv[2], iv[3]
+    if seed1 != (tsc1 | 0x20) & 0x7F:
+        raise PacketError("corrupt TKIP IV: WEP-seed byte mismatch")
+    if not flags & EXT_IV_FLAG:
+        raise PacketError("TKIP frames require the Extended IV flag")
+    (upper,) = struct.unpack("<I", iv[4:])
+    return (upper << 16) | (tsc1 << 8) | tsc0, (flags >> 6) & 0x3
+
+
+@dataclass(frozen=True)
+class TkipFrame:
+    """A captured TKIP data frame, as seen by a passive attacker.
+
+    Attributes:
+        ta: transmitter MAC address (input to the key mixing).
+        da: destination MAC address (input to the Michael MIC).
+        sa: source MAC address (input to the Michael MIC).
+        tsc: the public 48-bit sequence counter.
+        ciphertext: RC4-encrypted MSDU data || MIC || ICV.
+        key_id: TKIP key index (0 for pairwise traffic).
+        priority: QoS priority (input to the Michael MIC).
+    """
+
+    ta: bytes
+    da: bytes
+    sa: bytes
+    tsc: int
+    ciphertext: bytes
+    key_id: int = 0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        for name, addr in (("ta", self.ta), ("da", self.da), ("sa", self.sa)):
+            if len(addr) != 6:
+                raise PacketError(f"{name} must be a 6-byte MAC address")
+        if not 0 <= self.tsc <= TSC_MAX:
+            raise PacketError(f"TSC must fit in 48 bits, got {self.tsc:#x}")
+
+    def build(self) -> bytes:
+        """Wire bytes: IV block followed by the ciphertext."""
+        return encode_iv(self.tsc, self.key_id) + self.ciphertext
+
+    @classmethod
+    def parse(
+        cls,
+        data: bytes,
+        *,
+        ta: bytes,
+        da: bytes,
+        sa: bytes,
+        priority: int = 0,
+    ) -> "TkipFrame":
+        """Parse wire bytes (addresses come from the MAC header context)."""
+        if len(data) < IV_LEN:
+            raise PacketError("frame shorter than the TKIP IV block")
+        tsc, key_id = decode_iv(data[:IV_LEN])
+        return cls(
+            ta=ta,
+            da=da,
+            sa=sa,
+            tsc=tsc,
+            ciphertext=data[IV_LEN:],
+            key_id=key_id,
+            priority=priority,
+        )

@@ -1,0 +1,139 @@
+"""Identical-packet injection campaign and capture (paper §5.2, §5.4).
+
+The attack needs many encryptions of *one* TCP packet.  The paper's
+technique: make the victim open a TCP connection to an attacker server,
+then retransmit the same TCP segment over and over (retransmissions are
+valid TCP, so firewalls pass them); each Wi-Fi transmission re-encrypts
+the identical plaintext under a fresh TSC.  A 7-byte payload gives the
+packet a unique length, so the sniffer identifies it without false
+positives, and places the MIC/ICV over more strongly-biased keystream
+positions (§5.2).
+
+:class:`InjectionCampaign` simulates the whole loop against a
+:class:`~repro.tkip.session.TkipSession` victim and produces a
+:class:`CaptureSet` — ciphertext byte counts keyed by the low TSC bits,
+which is the attack's sufficient statistic.  Retransmissions seen twice
+(same TSC) are filtered exactly as the paper's tool does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AttackError
+from .frames import TkipFrame
+from .packets import TcpPacketSpec, build_protected_msdu
+from .session import TkipSession
+
+#: Packets/second the paper sustained in practice (§5.4).
+PAPER_INJECTION_RATE = 2500.0
+
+
+@dataclass
+class CaptureSet:
+    """Ciphertext statistics for one injected packet.
+
+    Attributes:
+        positions: 1-indexed keystream positions covered (the full
+            encrypted MSDU span in practice).
+        counts: maps low-16 TSC bits -> int64 array (len(positions), 256)
+            of ciphertext byte counts.
+        num_captured: distinct (by TSC) captures accumulated.
+        plaintext_len: length of the encrypted plaintext, used to reject
+            foreign frames (the unique-length trick).
+    """
+
+    positions: range
+    plaintext_len: int
+    counts: dict[int, np.ndarray] = field(default_factory=dict)
+    num_captured: int = 0
+    _seen_tsc: set[int] = field(default_factory=set, repr=False)
+
+    def add_frame(self, frame: TkipFrame) -> bool:
+        """Ingest a sniffed frame; returns True if it was counted.
+
+        Frames with the wrong length (not our injected packet) and
+        retransmissions (TSC already seen) are dropped.
+        """
+        if len(frame.ciphertext) != self.plaintext_len:
+            return False
+        if frame.tsc in self._seen_tsc:
+            return False
+        self._seen_tsc.add(frame.tsc)
+        low = frame.tsc & 0xFFFF
+        table = self.counts.get(low)
+        if table is None:
+            table = np.zeros((len(self.positions), 256), dtype=np.int64)
+            self.counts[low] = table
+        for row, pos in enumerate(self.positions):
+            table[row, frame.ciphertext[pos - 1]] += 1
+        self.num_captured += 1
+        return True
+
+
+@dataclass
+class InjectionCampaign:
+    """Simulated identical-packet injection against a TKIP victim.
+
+    Args:
+        session: the victim's transmitting TKIP session (client -> AP).
+        spec: the TCP packet the attacker's server keeps retransmitting.
+        da, sa: destination/source MACs of the victim's transmissions.
+        rate_pps: injection rate, for wall-clock accounting (§5.4).
+    """
+
+    session: TkipSession
+    spec: TcpPacketSpec
+    da: bytes
+    sa: bytes
+    rate_pps: float = PAPER_INJECTION_RATE
+
+    def plaintext(self) -> bytes:
+        """The protected plaintext (constant across transmissions)."""
+        return build_protected_msdu(
+            self.spec, self.session.mic_key, self.da, self.sa
+        )
+
+    def run(
+        self,
+        num_packets: int,
+        positions: range | None = None,
+        *,
+        retransmit_fraction: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> CaptureSet:
+        """Transmit ``num_packets`` identical packets and capture them.
+
+        Args:
+            num_packets: distinct transmissions (each gets a fresh TSC).
+            positions: keystream positions to collect (default: whole
+                plaintext).
+            retransmit_fraction: fraction of frames the sniffer sees
+                twice, to exercise the TSC-dedup path.
+            rng: randomness for retransmission jitter.
+
+        Returns:
+            The populated :class:`CaptureSet`.
+        """
+        if num_packets <= 0:
+            raise AttackError(f"num_packets must be positive, got {num_packets}")
+        msdu = self.spec.msdu_data()
+        plaintext_len = len(self.plaintext())
+        if positions is None:
+            positions = range(1, plaintext_len + 1)
+        capture = CaptureSet(positions=positions, plaintext_len=plaintext_len)
+        for _ in range(num_packets):
+            frame = self.session.encapsulate(msdu, self.da, self.sa)
+            capture.add_frame(frame)
+            if retransmit_fraction > 0.0 and rng is not None:
+                if rng.random() < retransmit_fraction:
+                    duplicated = capture.add_frame(frame)
+                    if duplicated:
+                        raise AttackError("TSC dedup failed to drop a retransmission")
+        return capture
+
+    def wall_clock_seconds(self, num_packets: int) -> float:
+        """Campaign duration at the configured injection rate."""
+        return num_packets / self.rate_pps

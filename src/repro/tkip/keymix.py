@@ -1,0 +1,139 @@
+"""TKIP per-packet key mixing K = KM(TA, TK, TSC) (paper §2.2).
+
+The full two-phase mixing function of IEEE 802.11 (TKIP) is implemented:
+phase 1 mixes the temporal key, transmitter address and the upper 32 TSC
+bits into the TTAK; phase 2 mixes the TTAK, temporal key and the lower
+16 TSC bits into the 16-byte RC4 per-packet key.  The S-box lives in
+:mod:`repro.tkip.sbox` (derived from the AES S-box, not pasted).
+
+Two properties matter for the attacks and are enforced by tests:
+
+- the first three RC4 key bytes depend only on the *public* TSC,
+
+      K0 = TSC1,   K1 = (TSC1 | 0x20) & 0x7F,   K2 = TSC0
+
+  (the WEP-weak-key countermeasure that ironically enables the per-TSC
+  biases, §2.2);
+- the remaining 13 bytes are well modelled as uniformly random over
+  packets ([2, 31] — "In practice the output of KM can be modelled as
+  uniformly random").
+
+:func:`simplified_per_packet_key` implements that uniform model directly;
+the statistics machinery uses it (matching the paper's methodology),
+while the protocol stack uses the real mixing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TkipError
+from ..utils.bytesops import mk16, rotr16, u16_hi, u16_lo
+from .sbox import tkip_s
+
+_PHASE1_LOOPS = 8
+TSC_MAX = (1 << 48) - 1
+
+
+def _check_inputs(ta: bytes, tk: bytes, tsc: int) -> None:
+    if len(ta) != 6:
+        raise TkipError(f"TA must be a 6-byte MAC address, got {len(ta)} bytes")
+    if len(tk) != 16:
+        raise TkipError(f"TK must be 16 bytes, got {len(tk)}")
+    if not 0 <= tsc <= TSC_MAX:
+        raise TkipError(f"TSC must fit in 48 bits, got {tsc:#x}")
+
+
+def tsc_split(tsc: int) -> tuple[int, int]:
+    """Split a 48-bit TSC into (IV32, IV16): upper 32 and lower 16 bits."""
+    if not 0 <= tsc <= TSC_MAX:
+        raise TkipError(f"TSC must fit in 48 bits, got {tsc:#x}")
+    return (tsc >> 16) & 0xFFFFFFFF, tsc & 0xFFFF
+
+
+def phase1(tk: bytes, ta: bytes, iv32: int) -> tuple[int, ...]:
+    """Phase-1 mixing: (TK, TA, IV32) -> 80-bit TTAK (five 16-bit words)."""
+    ttak = [
+        iv32 & 0xFFFF,
+        (iv32 >> 16) & 0xFFFF,
+        mk16(ta[1], ta[0]),
+        mk16(ta[3], ta[2]),
+        mk16(ta[5], ta[4]),
+    ]
+    for i in range(_PHASE1_LOOPS):
+        j = 2 * (i & 1)
+        ttak[0] = (ttak[0] + tkip_s(ttak[4] ^ mk16(tk[1 + j], tk[0 + j]))) & 0xFFFF
+        ttak[1] = (ttak[1] + tkip_s(ttak[0] ^ mk16(tk[5 + j], tk[4 + j]))) & 0xFFFF
+        ttak[2] = (ttak[2] + tkip_s(ttak[1] ^ mk16(tk[9 + j], tk[8 + j]))) & 0xFFFF
+        ttak[3] = (ttak[3] + tkip_s(ttak[2] ^ mk16(tk[13 + j], tk[12 + j]))) & 0xFFFF
+        ttak[4] = (ttak[4] + tkip_s(ttak[3] ^ mk16(tk[1 + j], tk[0 + j])) + i) & 0xFFFF
+    return tuple(ttak)
+
+
+def phase2(tk: bytes, ttak: tuple[int, ...], iv16: int) -> bytes:
+    """Phase-2 mixing: (TK, TTAK, IV16) -> 16-byte RC4 per-packet key."""
+    ppk = [
+        ttak[0],
+        ttak[1],
+        ttak[2],
+        ttak[3],
+        ttak[4],
+        (ttak[4] + iv16) & 0xFFFF,
+    ]
+    ppk[0] = (ppk[0] + tkip_s(ppk[5] ^ mk16(tk[1], tk[0]))) & 0xFFFF
+    ppk[1] = (ppk[1] + tkip_s(ppk[0] ^ mk16(tk[3], tk[2]))) & 0xFFFF
+    ppk[2] = (ppk[2] + tkip_s(ppk[1] ^ mk16(tk[5], tk[4]))) & 0xFFFF
+    ppk[3] = (ppk[3] + tkip_s(ppk[2] ^ mk16(tk[7], tk[6]))) & 0xFFFF
+    ppk[4] = (ppk[4] + tkip_s(ppk[3] ^ mk16(tk[9], tk[8]))) & 0xFFFF
+    ppk[5] = (ppk[5] + tkip_s(ppk[4] ^ mk16(tk[11], tk[10]))) & 0xFFFF
+    ppk[0] = (ppk[0] + rotr16(ppk[5] ^ mk16(tk[13], tk[12]), 1)) & 0xFFFF
+    ppk[1] = (ppk[1] + rotr16(ppk[0] ^ mk16(tk[15], tk[14]), 1)) & 0xFFFF
+    ppk[2] = (ppk[2] + rotr16(ppk[1], 1)) & 0xFFFF
+    ppk[3] = (ppk[3] + rotr16(ppk[2], 1)) & 0xFFFF
+    ppk[4] = (ppk[4] + rotr16(ppk[3], 1)) & 0xFFFF
+    ppk[5] = (ppk[5] + rotr16(ppk[4], 1)) & 0xFFFF
+
+    key = bytearray(16)
+    key[0] = u16_hi(iv16)
+    key[1] = (u16_hi(iv16) | 0x20) & 0x7F
+    key[2] = u16_lo(iv16)
+    key[3] = u16_lo((ppk[5] ^ mk16(tk[1], tk[0])) >> 1)
+    for i in range(6):
+        key[4 + 2 * i] = u16_lo(ppk[i])
+        key[5 + 2 * i] = u16_hi(ppk[i])
+    return bytes(key)
+
+
+def per_packet_key(ta: bytes, tk: bytes, tsc: int) -> bytes:
+    """The full mixing K = KM(TA, TK, TSC) (paper §2.2 notation)."""
+    _check_inputs(ta, tk, tsc)
+    iv32, iv16 = tsc_split(tsc)
+    return phase2(tk, phase1(tk, ta, iv32), iv16)
+
+
+def public_key_bytes(tsc: int) -> tuple[int, int, int]:
+    """The three TSC-determined key bytes (K0, K1, K2) — public knowledge."""
+    _, iv16 = tsc_split(tsc)
+    tsc1, tsc0 = u16_hi(iv16), u16_lo(iv16)
+    return tsc1, (tsc1 | 0x20) & 0x7F, tsc0
+
+
+def simplified_per_packet_key(
+    tsc: int, rng: np.random.Generator
+) -> bytes:
+    """The paper's statistical model of KM: public first three bytes from
+    the TSC, remaining 13 bytes uniformly random (§2.2, [2, 31])."""
+    k0, k1, k2 = public_key_bytes(tsc)
+    tail = rng.integers(0, 256, size=13, dtype=np.uint8)
+    return bytes((k0, k1, k2)) + tail.tobytes()
+
+
+def simplified_key_batch(
+    tsc: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Batch of per-packet keys under the uniform model, as (count, 16)."""
+    k0, k1, k2 = public_key_bytes(tsc)
+    keys = np.empty((count, 16), dtype=np.uint8)
+    keys[:, 0], keys[:, 1], keys[:, 2] = k0, k1, k2
+    keys[:, 3:] = rng.integers(0, 256, size=(count, 13), dtype=np.uint8)
+    return keys

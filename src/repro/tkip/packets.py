@@ -1,0 +1,117 @@
+"""Plaintext TKIP MSDU construction: LLC/SNAP + IP + TCP + MIC + ICV.
+
+This is the packet of the paper's Figure 2: a TCP payload inside an
+IPv4 packet inside LLC/SNAP, followed by the 8-byte Michael MIC and the
+4-byte CRC ICV, all of which get RC4-encrypted with the per-packet key.
+With a ``payload_len``-byte TCP payload the MIC occupies 1-indexed
+keystream positions 49+payload_len .. 56+payload_len and the ICV the four
+positions after that (LLC/SNAP 8 + IP 20 + TCP 20 = 48 known bytes);
+the paper's §5.2 argument for a 7-byte payload is exactly about where
+this window lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PacketError
+from ..net.ip import HEADER_LEN as IP_HEADER_LEN
+from ..net.ip import IPv4Header
+from ..net.llc import HEADER_LEN as LLC_HEADER_LEN
+from ..net.llc import LLC_SNAP_IPV4, LlcSnapHeader
+from ..net.tcp import HEADER_LEN as TCP_HEADER_LEN
+from ..net.tcp import TcpHeader
+from .crc import icv as compute_icv
+from .michael import michael, michael_header
+
+#: Known-plaintext prefix length: LLC/SNAP + IP + TCP headers.
+KNOWN_HEADER_LEN = LLC_HEADER_LEN + IP_HEADER_LEN + TCP_HEADER_LEN  # 48
+MIC_LEN = 8
+ICV_LEN = 4
+
+
+@dataclass(frozen=True)
+class TcpPacketSpec:
+    """Everything needed to build the plaintext TCP-in-IP MSDU data."""
+
+    source_ip: str
+    dest_ip: str
+    source_port: int
+    dest_port: int
+    payload: bytes = b""
+    ttl: int = 64
+    seq: int = 0
+    ack: int = 0
+    ip_id: int = 0
+
+    def msdu_data(self) -> bytes:
+        """LLC/SNAP + IPv4 + TCP (+ payload), checksums filled in."""
+        tcp = TcpHeader(
+            source_port=self.source_port,
+            dest_port=self.dest_port,
+            seq=self.seq,
+            ack=self.ack,
+        ).build(
+            source_ip=self.source_ip, dest_ip=self.dest_ip, payload=self.payload
+        )
+        ip = IPv4Header(
+            source=self.source_ip,
+            destination=self.dest_ip,
+            total_length=IP_HEADER_LEN + len(tcp),
+            ttl=self.ttl,
+            identification=self.ip_id,
+        ).build()
+        return LLC_SNAP_IPV4.build() + ip + tcp
+
+
+def build_protected_msdu(
+    spec: TcpPacketSpec,
+    mic_key: bytes,
+    da: bytes,
+    sa: bytes,
+    *,
+    priority: int = 0,
+) -> bytes:
+    """Plaintext MSDU data || MIC || ICV, ready for RC4 encryption.
+
+    The MIC covers DA || SA || priority || MSDU data; the ICV covers the
+    MSDU data plus the MIC (paper Fig. 2 layout).
+    """
+    data = spec.msdu_data()
+    mic = michael(mic_key, michael_header(da, sa, priority) + data)
+    return data + mic + compute_icv(data + mic)
+
+
+def split_protected_msdu(plaintext: bytes) -> tuple[bytes, bytes, bytes]:
+    """Split a decrypted MSDU into (data, mic, icv)."""
+    if len(plaintext) < MIC_LEN + ICV_LEN + KNOWN_HEADER_LEN:
+        raise PacketError(f"protected MSDU too short: {len(plaintext)} bytes")
+    data = plaintext[: -(MIC_LEN + ICV_LEN)]
+    mic = plaintext[-(MIC_LEN + ICV_LEN) : -ICV_LEN]
+    return data, mic, plaintext[-ICV_LEN:]
+
+
+def icv_valid(plaintext: bytes) -> bool:
+    """Check the trailing ICV of a decrypted MSDU."""
+    data, mic, icv_bytes = split_protected_msdu(plaintext)
+    return compute_icv(data + mic) == icv_bytes
+
+
+def mic_positions(payload_len: int) -> range:
+    """1-indexed keystream positions of the MIC for a TCP payload length."""
+    start = KNOWN_HEADER_LEN + payload_len + 1
+    return range(start, start + MIC_LEN)
+
+
+def icv_positions(payload_len: int) -> range:
+    """1-indexed keystream positions of the ICV for a TCP payload length."""
+    start = KNOWN_HEADER_LEN + payload_len + MIC_LEN + 1
+    return range(start, start + ICV_LEN)
+
+
+def parse_msdu_data(data: bytes) -> tuple[LlcSnapHeader, IPv4Header, TcpHeader, bytes]:
+    """Parse MSDU data into its LLC/IP/TCP components plus TCP payload."""
+    llc, rest = LlcSnapHeader.parse(data)
+    ip = IPv4Header.parse(rest)
+    tcp, payload = TcpHeader.parse(rest[IP_HEADER_LEN:])
+    return llc, ip, tcp, payload

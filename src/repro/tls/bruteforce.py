@@ -1,0 +1,73 @@
+"""Cookie brute-forcing against the web server (paper §6.2-§6.3).
+
+Websites rarely rate-limit cookies the way they rate-limit passwords — a
+properly random cookie is "unguessable", so nobody guards it.  The
+candidate list voids that assumption: the attacker walks candidates in
+decreasing likelihood and tests each against the server over persistent,
+pipelined connections.  The paper's tool sustained >20000 tests/second,
+covering all 2**23 candidates in under 7 minutes.
+
+:class:`BruteForceOracle` simulates the server side: it accepts or
+rejects a candidate, counts attempts, and converts attempt counts into
+wall-clock time at a configurable test rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import AttackError
+
+#: Candidate tests per second the paper's tool reached (§6.3).
+PAPER_TEST_RATE = 20000.0
+
+
+@dataclass
+class BruteForceOracle:
+    """A server that accepts exactly one cookie value.
+
+    Attributes:
+        secret: the true cookie value.
+        test_rate: candidate tests per second (wall-clock model).
+        attempts: number of candidates tested so far.
+    """
+
+    secret: bytes
+    test_rate: float = PAPER_TEST_RATE
+    attempts: int = field(default=0, init=False)
+
+    def check(self, candidate: bytes) -> bool:
+        """Test one candidate (one pipelined HTTPS request)."""
+        self.attempts += 1
+        return bytes(candidate) == self.secret
+
+    def search(
+        self, candidates: Iterable[bytes], *, budget: int | None = None
+    ) -> tuple[bytes, int]:
+        """Walk candidates best-first until the server accepts one.
+
+        Args:
+            candidates: candidate values in decreasing likelihood.
+            budget: optional cap on attempts.
+
+        Returns:
+            ``(cookie, attempts_used)``.
+
+        Raises:
+            AttackError: if the budget is exhausted without a hit.
+        """
+        start = self.attempts
+        for candidate in candidates:
+            if budget is not None and self.attempts - start >= budget:
+                break
+            if self.check(candidate):
+                return bytes(candidate), self.attempts - start
+        raise AttackError(
+            f"brute force failed after {self.attempts - start} attempts"
+        )
+
+    def wall_clock_seconds(self, attempts: int | None = None) -> float:
+        """Time to test ``attempts`` candidates (default: attempts so far)."""
+        count = self.attempts if attempts is None else attempts
+        return count / self.test_rate

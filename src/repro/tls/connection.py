@@ -1,0 +1,89 @@
+"""A persistent TLS connection carrying HTTP requests (paper §2.3, §6.3).
+
+Wires the PRF key derivation and the RC4 record layer into a
+client/server pair sharing one master secret.  Persistence matters to the
+attack twice over: RC4 is initialised once per connection (so long-term
+biases accumulate within a connection) and HTTP keep-alive removes
+per-request handshakes (so the victim can reach thousands of requests per
+second, §6.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TlsError
+from .prf import MASTER_SECRET_LEN, derive_keys
+from .record import Rc4RecordLayer, TlsRecord
+
+
+class TlsConnection:
+    """Both endpoints of one RC4-SHA TLS connection (post-handshake).
+
+    The handshake itself (RSA key exchange, etc.) is out of scope for the
+    attack — the paper assumes it completed — so the constructor starts
+    from the negotiated master secret and randoms.
+    """
+
+    def __init__(
+        self,
+        master_secret: bytes,
+        client_random: bytes,
+        server_random: bytes,
+    ) -> None:
+        keys = derive_keys(master_secret, client_random, server_random)
+        self._client_write = Rc4RecordLayer(keys.client_rc4_key, keys.client_mac_key)
+        self._server_read = Rc4RecordLayer(keys.client_rc4_key, keys.client_mac_key)
+        self._server_write = Rc4RecordLayer(keys.server_rc4_key, keys.server_mac_key)
+        self._client_read = Rc4RecordLayer(keys.server_rc4_key, keys.server_mac_key)
+        self.client_rc4_key = keys.client_rc4_key
+
+    @classmethod
+    def handshake(cls, rng: np.random.Generator) -> "TlsConnection":
+        """Fresh connection with random secret/randoms (abstracted handshake)."""
+        master = rng.integers(0, 256, MASTER_SECRET_LEN, dtype=np.uint8).tobytes()
+        c_rand = rng.integers(0, 256, 32, dtype=np.uint8).tobytes()
+        s_rand = rng.integers(0, 256, 32, dtype=np.uint8).tobytes()
+        return cls(master, c_rand, s_rand)
+
+    @property
+    def client_keystream_position(self) -> int:
+        """1-indexed next client-write keystream position (attack alignment)."""
+        return self._client_write.keystream_position
+
+    def client_send(self, plaintext: bytes) -> TlsRecord:
+        """Client encrypts one application-data record."""
+        return self._client_write.protect(plaintext)
+
+    def server_receive(self, record: TlsRecord) -> bytes:
+        """Server decrypts and MAC-verifies one client record."""
+        return self._server_read.unprotect(record)
+
+    def server_send(self, plaintext: bytes) -> TlsRecord:
+        """Server encrypts one response record."""
+        return self._server_write.protect(plaintext)
+
+    def client_receive(self, record: TlsRecord) -> bytes:
+        """Client decrypts and MAC-verifies one server record."""
+        return self._client_read.unprotect(record)
+
+
+class RecordSniffer:
+    """A passive observer of the client->server record stream.
+
+    Collects the raw encrypted fragments along with the absolute
+    keystream offset at which each began — everything the §6 attack needs
+    from its man-in-the-middle position.
+    """
+
+    def __init__(self) -> None:
+        self.fragments: list[bytes] = []
+        self.offsets: list[int] = []
+        self._position = 1
+
+    def observe(self, record: TlsRecord) -> None:
+        if not record.fragment:
+            raise TlsError("observed an empty record")
+        self.fragments.append(record.fragment)
+        self.offsets.append(self._position)
+        self._position += len(record.fragment)

@@ -1,0 +1,51 @@
+"""Cookie values and the RFC 6265 character-set restriction (paper §6.2).
+
+RFC 6265 allows a cookie value at most 90 distinct characters (ASCII
+without controls, whitespace, double quote, comma, semicolon and
+backslash).  The paper uses this to shrink Algorithm 2's search space —
+"a tighter bound on the required number of ciphertexts ... even in the
+general case" — by looping only over allowed characters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _build_charset() -> bytes:
+    allowed = []
+    for code in range(0x21, 0x7F):  # printable, no space, no DEL
+        if code in (0x22, 0x2C, 0x3B, 0x5C):  # " , ; \
+            continue
+        allowed.append(code)
+    return bytes(allowed)
+
+
+#: The 90-character cookie-octet alphabet of RFC 6265 §4.1.1.
+COOKIE_CHARSET = _build_charset()
+
+#: Base64-style alphabet many frameworks use for session tokens; a
+#: stricter subset callers can opt into for even tighter bounds.
+BASE64_CHARSET = bytes(
+    sorted(
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/="
+    )
+)
+
+
+def random_cookie(
+    rng: np.random.Generator, length: int = 16, *, charset: bytes = COOKIE_CHARSET
+) -> bytes:
+    """A uniformly random cookie value over the given alphabet."""
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if not charset:
+        raise ValueError("charset must be non-empty")
+    idx = rng.integers(0, len(charset), size=length)
+    return bytes(charset[i] for i in idx)
+
+
+def is_valid_cookie_value(value: bytes, *, charset: bytes = COOKIE_CHARSET) -> bool:
+    """True if every byte of ``value`` is in the allowed alphabet."""
+    allowed = set(charset)
+    return all(b in allowed for b in value)

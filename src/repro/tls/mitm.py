@@ -1,0 +1,162 @@
+"""Man-in-the-middle traffic generation for the cookie attack (paper §6.1, §6.3).
+
+The attacker holds an active MiTM position on the victim's *plaintext*
+HTTP traffic (not the TLS channel): they inject JavaScript that issues
+cross-origin HTTPS requests from HTML5 WebWorkers in the background.
+The browser attaches the secure cookie to each request; the same-origin
+policy blocks reading responses, but the attack only needs the requests
+on the wire.  The paper sustained ~4450 requests/second this way.
+
+:class:`MitmCampaign` simulates that loop against a real
+:class:`~repro.tls.connection.TlsConnection`: each generated request is
+encrypted by the victim's record layer and observed by a
+:class:`~repro.tls.connection.RecordSniffer`.  For statistics at scales
+where running real RC4 per request is infeasible, the benchmark layer
+swaps in the sufficient-statistic samplers (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TlsError
+from .connection import RecordSniffer, TlsConnection
+from .http import CookieJar, HttpRequestTemplate, pad_to_alignment
+
+#: Requests/second the paper measured with an idle browser (§6.3).
+PAPER_REQUEST_RATE = 4450.0
+#: ... and while the victim watched videos.
+PAPER_REQUEST_RATE_BUSY = 4100.0
+
+
+@dataclass
+class MitmCampaign:
+    """JavaScript-driven HTTPS request generation, simulated.
+
+    Args:
+        template: the manipulated request layout (cookie isolated and
+            surrounded by known plaintext, §6.1).
+        cookie_value: the victim's secret cookie (ground truth held by
+            the simulation, never read by the attack code).
+        request_rate: requests/second for wall-clock accounting.
+    """
+
+    template: HttpRequestTemplate
+    cookie_value: bytes
+    request_rate: float = PAPER_REQUEST_RATE
+
+    @classmethod
+    def prepare(
+        cls,
+        jar: CookieJar,
+        target_cookie: str,
+        host: str,
+        *,
+        injected: list[tuple[str, bytes]] | None = None,
+        align_to: int | None = None,
+        modulus: int = 256,
+        stream_align: bool = True,
+    ) -> "MitmCampaign":
+        """Perform the §6.1 jar manipulation and build the campaign.
+
+        Isolates the target cookie, injects known cookies after it,
+        optionally pads the layout so the cookie starts at ``align_to``
+        modulo ``modulus``, and (by default) pads the *record* length to
+        a multiple of 256 so every request on a persistent connection
+        sees identical PRGA counter values (the paper's 512-byte
+        requests, §6.3).  Record padding goes into a trailing injected
+        cookie, after the target, so it never moves the cookie.
+        """
+        jar.attacker_isolate(target_cookie)
+        injected = injected or [("injected1", b"known1"), ("injected2", b"knownplaintext2")]
+        jar.attacker_inject(injected)
+        cookie_value = jar.cookies[target_cookie]
+        template = HttpRequestTemplate(
+            host=host,
+            cookie_name=target_cookie,
+            injected_cookies=tuple(
+                (name, value.decode("latin-1")) for name, value in injected
+            ),
+        )
+        if align_to is not None:
+            template = pad_to_alignment(
+                template, len(cookie_value), align_to, modulus=modulus
+            )
+        if stream_align:
+            template = cls._pad_record_length(template, len(cookie_value))
+        return cls(template=template, cookie_value=cookie_value)
+
+    @staticmethod
+    def _pad_record_length(
+        template: HttpRequestTemplate, cookie_len: int
+    ) -> HttpRequestTemplate:
+        """Pad with a trailing cookie so record length ≡ 0 (mod 256).
+
+        The encrypted fragment is plaintext + 20-byte HMAC-SHA1; the
+        attacker observes the unpadded length on the wire (RC4 adds no
+        padding) and sizes the filler accordingly.
+        """
+        from .record import MAC_LEN
+
+        base_len = (
+            len(template.prefix()) + cookie_len + len(template.suffix()) + MAC_LEN
+        )
+        overhead = len("; pad=")
+        needed = (-base_len) % 256
+        if needed < overhead + 1:
+            needed += 256
+        filler = "x" * (needed - overhead)
+        return HttpRequestTemplate(
+            host=template.host,
+            path=template.path,
+            headers=template.headers,
+            cookie_name=template.cookie_name,
+            injected_cookies=template.injected_cookies + (("pad", filler),),
+        )
+
+    def request_plaintext(self) -> bytes:
+        """One request's plaintext (constant across the campaign)."""
+        return self.template.build(self.cookie_value)
+
+    def run(
+        self,
+        num_requests: int,
+        rng: np.random.Generator,
+        *,
+        reconnect_every: int | None = None,
+    ) -> RecordSniffer:
+        """Generate ``num_requests`` requests over real TLS connections.
+
+        Args:
+            num_requests: requests to send.
+            rng: randomness for the (abstracted) handshakes.
+            reconnect_every: simulate connection churn by rekeying after
+                this many requests (None = one persistent connection).
+                The attack tolerates rekeying (§6.3): every fresh
+                connection restarts the keystream at position 1, which is
+                exactly what the per-position statistics assume.
+
+        Returns:
+            A :class:`RecordSniffer` holding every encrypted fragment.
+        """
+        if num_requests <= 0:
+            raise TlsError(f"num_requests must be positive, got {num_requests}")
+        sniffer = RecordSniffer()
+        plaintext = self.request_plaintext()
+        connection = TlsConnection.handshake(rng)
+        sent_on_connection = 0
+        for _ in range(num_requests):
+            if reconnect_every is not None and sent_on_connection >= reconnect_every:
+                connection = TlsConnection.handshake(rng)
+                sniffer._position = 1  # fresh keystream
+                sent_on_connection = 0
+            record = connection.client_send(plaintext)
+            sniffer.observe(record)
+            sent_on_connection += 1
+        return sniffer
+
+    def wall_clock_seconds(self, num_requests: int) -> float:
+        """Campaign duration at the configured request rate."""
+        return num_requests / self.request_rate

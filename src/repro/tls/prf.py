@@ -1,0 +1,81 @@
+"""The TLS 1.2 pseudo-random function (RFC 5246 §5) and key derivation.
+
+After the handshake the 48-byte master secret is expanded into the
+connection key block; for TLS_RSA_WITH_RC4_128_SHA that is two 20-byte
+MAC keys and two 16-byte RC4 keys (client- and server-write).  The paper
+models the resulting RC4 key as uniformly random (§2.3); implementing
+the real expansion keeps the record layer faithful end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TlsError
+from .hmac import hmac_sha256
+
+MASTER_SECRET_LEN = 48
+MAC_KEY_LEN = 20  # SHA-1
+RC4_KEY_LEN = 16
+
+
+def p_hash(secret: bytes, seed: bytes, length: int) -> bytes:
+    """P_SHA256 expansion: HMAC chaining until ``length`` bytes."""
+    if length < 0:
+        raise TlsError(f"length must be non-negative, got {length}")
+    output = bytearray()
+    a_value = seed
+    while len(output) < length:
+        a_value = hmac_sha256(secret, a_value)
+        output.extend(hmac_sha256(secret, a_value + seed))
+    return bytes(output[:length])
+
+
+def prf(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
+    """TLS 1.2 PRF(secret, label, seed) = P_SHA256(secret, label + seed)."""
+    return p_hash(secret, label + seed, length)
+
+
+@dataclass(frozen=True)
+class ConnectionKeys:
+    """Key block for TLS_RSA_WITH_RC4_128_SHA."""
+
+    client_mac_key: bytes
+    server_mac_key: bytes
+    client_rc4_key: bytes
+    server_rc4_key: bytes
+
+
+def derive_keys(
+    master_secret: bytes, client_random: bytes, server_random: bytes
+) -> ConnectionKeys:
+    """Expand the master secret into the RC4-SHA key block (RFC 5246 §6.3).
+
+    Note the seed order for key expansion is server_random + client_random.
+    """
+    if len(master_secret) != MASTER_SECRET_LEN:
+        raise TlsError(
+            f"master secret must be {MASTER_SECRET_LEN} bytes, got {len(master_secret)}"
+        )
+    if len(client_random) != 32 or len(server_random) != 32:
+        raise TlsError("client/server randoms must be 32 bytes")
+    block = prf(
+        master_secret,
+        b"key expansion",
+        server_random + client_random,
+        2 * MAC_KEY_LEN + 2 * RC4_KEY_LEN,
+    )
+    offset = 0
+    client_mac = block[offset : offset + MAC_KEY_LEN]
+    offset += MAC_KEY_LEN
+    server_mac = block[offset : offset + MAC_KEY_LEN]
+    offset += MAC_KEY_LEN
+    client_key = block[offset : offset + RC4_KEY_LEN]
+    offset += RC4_KEY_LEN
+    server_key = block[offset : offset + RC4_KEY_LEN]
+    return ConnectionKeys(
+        client_mac_key=client_mac,
+        server_mac_key=server_mac,
+        client_rc4_key=client_key,
+        server_rc4_key=server_key,
+    )

@@ -1,0 +1,137 @@
+"""The TLS record protocol with RC4 (paper §2.3, Fig. 3).
+
+A record of type application-data carries version, length, payload and an
+HMAC; payload and HMAC are RC4-encrypted.  RC4 is initialised once per
+connection and *no initial keystream bytes are discarded* — the property
+all the attacks build on.  The HMAC covers an 8-byte sequence number, the
+record header fields, and the plaintext.
+
+MAC-then-encrypt, exactly as RFC 5246 §6.2.3.1 specifies for stream
+ciphers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import TlsError
+from ..rc4.reference import RC4
+from .hmac import hmac_sha1
+
+CONTENT_APPLICATION_DATA = 23
+VERSION_TLS12 = (3, 3)
+MAC_LEN = 20
+HEADER_LEN = 5
+MAX_PLAINTEXT = 1 << 14
+
+
+@dataclass(frozen=True)
+class TlsRecord:
+    """A wire-format TLS record (header + opaque fragment)."""
+
+    content_type: int
+    version: tuple[int, int]
+    fragment: bytes
+
+    def build(self) -> bytes:
+        if len(self.fragment) > MAX_PLAINTEXT + 2048:
+            raise TlsError(f"fragment too long: {len(self.fragment)}")
+        return (
+            struct.pack(
+                ">BBBH",
+                self.content_type,
+                self.version[0],
+                self.version[1],
+                len(self.fragment),
+            )
+            + self.fragment
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["TlsRecord", bytes]:
+        """Parse one record off the front of ``data``; returns (record, rest)."""
+        if len(data) < HEADER_LEN:
+            raise TlsError("truncated record header")
+        content_type, major, minor, length = struct.unpack(">BBBH", data[:HEADER_LEN])
+        end = HEADER_LEN + length
+        if len(data) < end:
+            raise TlsError("truncated record fragment")
+        return (
+            cls(
+                content_type=content_type,
+                version=(major, minor),
+                fragment=data[HEADER_LEN:end],
+            ),
+            data[end:],
+        )
+
+
+class Rc4RecordLayer:
+    """One direction of an RC4-SHA record layer.
+
+    Args:
+        rc4_key: 16-byte connection RC4 key (used as-is; no drop).
+        mac_key: 20-byte HMAC-SHA1 key.
+
+    The sequence number starts at 0 and increments per record; the RC4
+    keystream is continuous across records (paper §2.3: a persistent
+    connection encrypts every HTTP request under one evolving keystream).
+    """
+
+    def __init__(self, rc4_key: bytes, mac_key: bytes) -> None:
+        if len(mac_key) != MAC_LEN:
+            raise TlsError(f"MAC key must be {MAC_LEN} bytes, got {len(mac_key)}")
+        self._cipher = RC4(rc4_key)
+        self._mac_key = mac_key
+        self._seq = 0
+
+    @property
+    def sequence_number(self) -> int:
+        return self._seq
+
+    @property
+    def keystream_position(self) -> int:
+        """1-indexed position of the *next* keystream byte — used by the
+        attack to align targeted plaintext with bias positions."""
+        return self._cipher.position + 1
+
+    def _mac(self, content_type: int, plaintext: bytes) -> bytes:
+        header = struct.pack(
+            ">QBBBH",
+            self._seq,
+            content_type,
+            VERSION_TLS12[0],
+            VERSION_TLS12[1],
+            len(plaintext),
+        )
+        return hmac_sha1(self._mac_key, header + plaintext)
+
+    def protect(
+        self, plaintext: bytes, *, content_type: int = CONTENT_APPLICATION_DATA
+    ) -> TlsRecord:
+        """MAC-then-encrypt one record; advances sequence and keystream."""
+        if len(plaintext) > MAX_PLAINTEXT:
+            raise TlsError(f"plaintext too long: {len(plaintext)}")
+        mac = self._mac(content_type, plaintext)
+        fragment = self._cipher.crypt(plaintext + mac)
+        self._seq += 1
+        return TlsRecord(
+            content_type=content_type, version=VERSION_TLS12, fragment=fragment
+        )
+
+    def unprotect(self, record: TlsRecord) -> bytes:
+        """Decrypt and verify one record; returns the plaintext.
+
+        Raises:
+            TlsError: on records too short for a MAC or on MAC mismatch.
+        """
+        if len(record.fragment) < MAC_LEN:
+            raise TlsError("record shorter than the MAC")
+        decrypted = self._cipher.crypt(record.fragment)
+        plaintext, mac = decrypted[:-MAC_LEN], decrypted[-MAC_LEN:]
+        expected = self._mac(record.content_type, plaintext)
+        self._seq += 1
+        if mac != expected:
+            raise TlsError("record MAC verification failed")
+        return plaintext

@@ -1,0 +1,25 @@
+"""Shared low-level helpers: byte manipulation, serialization, progress."""
+
+from .bytesops import (
+    hexdump,
+    mk16,
+    rotl32,
+    rotr16,
+    rotr32,
+    u16_hi,
+    u16_lo,
+    xor_bytes,
+    xswap16,
+)
+
+__all__ = [
+    "hexdump",
+    "mk16",
+    "rotl32",
+    "rotr16",
+    "rotr32",
+    "u16_hi",
+    "u16_lo",
+    "xor_bytes",
+    "xswap16",
+]

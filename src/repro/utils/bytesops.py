@@ -1,0 +1,77 @@
+"""Byte- and word-level primitives used across the cryptographic substrates.
+
+These are deliberately small, explicit functions (no clever bit hacks) so
+each protocol implementation (Michael, TKIP key mixing, checksums) reads
+like its specification.
+"""
+
+from __future__ import annotations
+
+MASK16 = 0xFFFF
+MASK32 = 0xFFFFFFFF
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} != {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def rotl32(value: int, count: int) -> int:
+    """Rotate a 32-bit word left by ``count`` bits."""
+    count %= 32
+    value &= MASK32
+    return ((value << count) | (value >> (32 - count))) & MASK32 if count else value
+
+
+def rotr32(value: int, count: int) -> int:
+    """Rotate a 32-bit word right by ``count`` bits."""
+    return rotl32(value, 32 - (count % 32))
+
+
+def rotr16(value: int, count: int) -> int:
+    """Rotate a 16-bit word right by ``count`` bits."""
+    count %= 16
+    value &= MASK16
+    return ((value >> count) | (value << (16 - count))) & MASK16 if count else value
+
+
+def xswap16(value: int) -> int:
+    """Swap the two bytes of a 16-bit word (TKIP/Michael ``XSWAP``)."""
+    value &= MASK16
+    return ((value & 0xFF) << 8) | (value >> 8)
+
+
+def xswap32(value: int) -> int:
+    """Swap bytes within each 16-bit half of a 32-bit word (Michael ``XSWAP``)."""
+    value &= MASK32
+    return (
+        ((value & 0x00FF00FF) << 8) | ((value & 0xFF00FF00) >> 8)
+    ) & MASK32
+
+
+def mk16(hi: int, lo: int) -> int:
+    """Build a 16-bit word from high and low bytes (TKIP ``Mk16``)."""
+    return ((hi & 0xFF) << 8) | (lo & 0xFF)
+
+
+def u16_hi(value: int) -> int:
+    """High byte of a 16-bit word (TKIP ``Hi8``)."""
+    return (value >> 8) & 0xFF
+
+
+def u16_lo(value: int) -> int:
+    """Low byte of a 16-bit word (TKIP ``Lo8``)."""
+    return value & 0xFF
+
+
+def hexdump(data: bytes, *, width: int = 16) -> str:
+    """Render bytes as a classic offset/hex/ASCII dump (for examples/logs)."""
+    lines = []
+    for offset in range(0, len(data), width):
+        chunk = data[offset : offset + width]
+        hexpart = " ".join(f"{b:02x}" for b in chunk)
+        asciipart = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"{offset:08x}  {hexpart:<{width * 3}} {asciipart}")
+    return "\n".join(lines)

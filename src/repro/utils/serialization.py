@@ -1,0 +1,55 @@
+"""Versioned on-disk storage for counter arrays and metadata.
+
+Datasets are stored as ``.npz`` archives with a JSON metadata blob under
+the reserved key ``__meta__``.  The format is self-describing so a dataset
+generated at one scale can be validated before use at another.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import DatasetError
+
+FORMAT_VERSION = 1
+_META_KEY = "__meta__"
+
+
+def save_arrays(
+    path: str | Path,
+    arrays: Mapping[str, np.ndarray],
+    metadata: Mapping[str, Any],
+) -> Path:
+    """Save named arrays plus JSON metadata to ``path`` (``.npz``)."""
+    path = Path(path)
+    if _META_KEY in arrays:
+        raise DatasetError(f"array name {_META_KEY!r} is reserved")
+    meta = dict(metadata)
+    meta["format_version"] = FORMAT_VERSION
+    blob = np.frombuffer(json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{_META_KEY: blob}, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_arrays(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Load arrays and metadata previously written by :func:`save_arrays`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if _META_KEY not in archive:
+            raise DatasetError(f"{path} has no metadata; not a repro dataset")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        version = meta.get("format_version")
+        if version != FORMAT_VERSION:
+            raise DatasetError(
+                f"{path}: unsupported format version {version!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        arrays = {name: archive[name] for name in archive.files if name != _META_KEY}
+    return arrays, meta

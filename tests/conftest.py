@@ -1,0 +1,20 @@
+"""Shared fixtures: deterministic config and RNG for every test module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+
+
+@pytest.fixture
+def config() -> ReproConfig:
+    """A fixed-seed configuration so tests are reproducible."""
+    return ReproConfig(seed=1234)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator independent of the config streams."""
+    return np.random.default_rng(987654321)

@@ -1,0 +1,105 @@
+"""Mantin ABSAB bias model: alpha(g), distributions, gap enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.biases import (
+    MAX_GAP,
+    absab_alpha,
+    absab_relative_bias,
+    differential_distribution,
+    usable_gaps,
+)
+
+
+class TestAlpha:
+    def test_formula_at_zero_gap(self):
+        expected = 2.0**-16 * (1 + 2.0**-8 * np.exp(-4.0 / 256.0))
+        assert absab_alpha(0) == pytest.approx(expected)
+
+    def test_decreasing_in_gap(self):
+        alphas = [absab_alpha(g) for g in range(0, 200, 10)]
+        assert all(a > b for a, b in zip(alphas, alphas[1:]))
+
+    def test_always_above_uniform(self):
+        assert all(absab_alpha(g) > 2.0**-16 for g in range(0, 512, 25))
+
+    def test_vectorised(self):
+        gaps = np.array([0, 10, 100])
+        out = absab_alpha(gaps)
+        assert out.shape == (3,)
+        assert out[0] == pytest.approx(absab_alpha(0))
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            absab_alpha(-1)
+
+    def test_relative_bias_scale(self):
+        # At g=0 the relative bias is ~2^-8; at g=128 it has decayed by e^-4.
+        assert absab_relative_bias(0) == pytest.approx(
+            2.0**-8 * np.exp(-4.0 / 256.0)
+        )
+        ratio = absab_relative_bias(128) / absab_relative_bias(0)
+        assert ratio == pytest.approx(np.exp(-8.0 * 128.0 / 256.0), rel=1e-6)
+
+
+class TestDifferentialDistribution:
+    def test_normalised_and_peaked_at_zero(self):
+        dist = differential_distribution(16)
+        assert dist.shape == (65536,)
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist[0] == pytest.approx(absab_alpha(16))
+        assert np.all(dist[1:] == dist[1])
+
+
+class TestUsableGaps:
+    def test_middle_of_cookie_both_sides(self):
+        """A digraph deep inside the unknown region pairs with known
+        digraphs on both sides once the gap is large enough."""
+        # Unknown span 300..315 (16 bytes), stream of 700.
+        gaps = usable_gaps(307, (300, 315), 700, max_gap=MAX_GAP)
+        after = [g for g, side in gaps if side == "after"]
+        before = [g for g, side in gaps if side == "before"]
+        # After: partner first position 307+2+g > 315 -> g >= 7.
+        assert min(after) == 7
+        # Before: partner positions r-2-g, r-1-g fully below 300 -> g >= 7.
+        assert min(before) == 7
+        assert max(after) == MAX_GAP and max(before) == MAX_GAP
+
+    def test_boundary_transition_gets_gap_zero(self):
+        # r = 99 is the (known, first-unknown) transition; the digraph at
+        # 101.. partners from gap 0 upward once beyond the unknown end.
+        gaps = usable_gaps(115, (100, 115), 400, max_gap=8)
+        after = [g for g, side in gaps if side == "after"]
+        assert 0 in after
+
+    def test_stream_end_limits_after_gaps(self):
+        gaps = usable_gaps(100, (100, 103), 110, max_gap=128)
+        after = [g for g, side in gaps if side == "after"]
+        # partner second position r+3+g <= 110 -> g <= 7.
+        assert max(after) == 7
+
+    def test_stream_start_limits_before_gaps(self):
+        gaps = usable_gaps(10, (10, 13), 400, max_gap=128)
+        before = [g for g, side in gaps if side == "before"]
+        # partner first position r-2-g >= 1 -> g <= 7.
+        assert before and max(before) == 7
+
+    def test_empirical_detection_at_small_gap(self, config):
+        """The ABSAB pattern is measurable in real keystream at small
+        gaps with modest samples when pooled over many positions."""
+        from repro.rc4 import batch_keystream
+        from repro.rc4.keygen import derive_keys
+
+        gap = 0
+        keys = derive_keys(config, "absab-meas", 24)
+        stream = batch_keystream(keys, 8192, drop=1024).astype(np.int32)
+        a = (stream[:, :-3] << 8) | stream[:, 1:-2]
+        b = (stream[:, 2:-1] << 8) | stream[:, 3:]
+        matches = int((a == b).sum())
+        trials = a.size
+        expected_biased = trials * absab_alpha(gap)
+        expected_uniform = trials * 2.0**-16
+        sigma = np.sqrt(expected_uniform)
+        # ~190k trials per key set: the model must at least be consistent.
+        assert abs(matches - expected_biased) < 6 * sigma

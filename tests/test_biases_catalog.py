@@ -1,0 +1,159 @@
+"""Catalog entries: Table 2, Z1/Z2 families, long-term biases, models."""
+
+import numpy as np
+import pytest
+
+from repro.biases import (
+    EQUALITY_BIASES,
+    ISOBE_Z1Z2_ZERO,
+    KEYLEN_BIAS_16,
+    MANTIN_SHAMIR,
+    NEW_128_0,
+    SENGUPTA_00,
+    TABLE2_ALL,
+    TABLE2_CONSECUTIVE,
+    TABLE2_NONCONSECUTIVE,
+    W256_PAIR_BIASES,
+    Z1Z2_FAMILIES,
+    Z1Z2_PAIR_PATTERNS,
+    beyond_256_biases,
+    paper_prob,
+    single_byte_model,
+    w256_gap1_distribution,
+    zero_bias,
+)
+
+
+class TestPaperProb:
+    def test_positive_negative(self):
+        assert paper_prob(-16, -8, +1) == pytest.approx(2.0**-16 * (1 + 2.0**-8))
+        assert paper_prob(-16, -8, -1) == pytest.approx(2.0**-16 * (1 - 2.0**-8))
+
+    def test_no_bias(self):
+        assert paper_prob(-8) == pytest.approx(2.0**-8)
+
+    def test_bad_sign(self):
+        with pytest.raises(ValueError):
+            paper_prob(-16, -8, 2)
+
+
+class TestTable2:
+    def test_seven_consecutive_rows(self):
+        assert len(TABLE2_CONSECUTIVE) == 7
+        for w, bias in enumerate(TABLE2_CONSECUTIVE, start=1):
+            assert bias.positions == (16 * w - 1, 16 * w)
+            assert bias.values == (256 - 16 * w, 256 - 16 * w)
+            # Negative relative bias vs the marginal-product baseline,
+            # which itself sits above uniform 2^-16 (key-length biases).
+            assert bias.relative_bias < 0
+            assert bias.baseline > 2.0**-16
+
+    def test_monotone_weakening_with_w(self):
+        rels = [abs(b.relative_bias) for b in TABLE2_CONSECUTIVE]
+        assert all(a > b for a, b in zip(rels, rels[1:]))
+
+    def test_fifteen_nonconsecutive_rows(self):
+        assert len(TABLE2_NONCONSECUTIVE) == 15
+
+    def test_z16_240_rows_positions_multiples_of_16(self):
+        """The paper notes Z16=240-induced biases land on multiples of 16."""
+        rows = [
+            b
+            for b in TABLE2_NONCONSECUTIVE
+            if b.positions[0] == 16 and b.values[0] == 240
+        ]
+        assert len(rows) == 7
+        # "generally have a position, or value, that is a multiple of 16":
+        # all but the (Z31 = 63) row satisfy it exactly.
+        aligned = sum(
+            1
+            for bias in rows
+            if bias.positions[1] % 16 == 0 or bias.values[1] % 16 == 0
+        )
+        assert aligned >= 6
+
+    def test_first_row_probability(self):
+        w1 = TABLE2_CONSECUTIVE[0]
+        assert w1.probability == pytest.approx(
+            2.0**-15.94786 * (1 - 2.0**-4.894)
+        )
+
+
+class TestZ1Z2:
+    def test_six_families(self):
+        assert len(Z1Z2_FAMILIES) == 6
+
+    def test_family_values_mod_256(self):
+        for name, z_pos, z_val, zi_val, sign in Z1Z2_FAMILIES:
+            assert z_pos in (1, 2)
+            for i in (3, 100, 256):
+                assert 0 <= z_val(i) < 256
+                assert 0 <= zi_val(i) < 256
+            assert sign in (-1, +1)
+
+    def test_family3_negative(self):
+        name, _, _, _, sign = Z1Z2_FAMILIES[2]
+        assert "257-i" in name and sign == -1
+
+    def test_four_pair_patterns(self):
+        assert len(Z1Z2_PAIR_PATTERNS) == 4
+        # B pattern: Z2 = 258 - x.
+        _, values, sign = Z1Z2_PAIR_PATTERNS[1]
+        assert values(2) == (2, 0) and sign == +1
+
+    def test_equality_bias_signs(self):
+        # eq 3 and eq 5 negative, eq 4 positive (plus Paul-Preneel negative)
+        signs = [b.relative_bias for b in EQUALITY_BIASES]
+        assert signs[0] < 0  # Paul-Preneel Z1 = Z2
+        assert signs[1] < 0  # eq 3
+        assert signs[2] > 0  # eq 4
+        assert signs[3] < 0  # eq 5
+
+    def test_isobe_triple_zero(self):
+        assert ISOBE_Z1Z2_ZERO.probability == pytest.approx(3.0 * 2.0**-16)
+        assert ISOBE_Z1Z2_ZERO.relative_bias == pytest.approx(2.0)
+
+
+class TestSingleByteCatalog:
+    def test_mantin_shamir_doubled(self):
+        assert MANTIN_SHAMIR.probability == pytest.approx(2.0 / 256.0)
+        assert MANTIN_SHAMIR.relative_bias == pytest.approx(1.0)
+        assert MANTIN_SHAMIR.is_positive
+
+    def test_zero_bias_decays_with_position(self):
+        assert zero_bias(3).probability > zero_bias(200).probability > 1 / 256
+        with pytest.raises(ValueError):
+            zero_bias(2)
+
+    def test_keylen_bias(self):
+        assert KEYLEN_BIAS_16.position == 16
+        assert KEYLEN_BIAS_16.value == 240
+        assert KEYLEN_BIAS_16.is_positive
+
+    def test_beyond_256_entries(self):
+        entries = beyond_256_biases()
+        assert [e.position for e in entries] == [272, 288, 304, 320, 336, 352, 368]
+        assert [e.value for e in entries] == [32, 64, 96, 128, 160, 192, 224]
+
+
+class TestModels:
+    @pytest.mark.parametrize("position", [1, 2, 3, 16, 100, 255, 256, 300])
+    def test_single_byte_model_normalised(self, position):
+        dist = single_byte_model(position)
+        assert dist.shape == (256,)
+        assert dist.sum() == pytest.approx(1.0)
+        assert np.all(dist > 0)
+
+    def test_z2_model_has_doubled_zero(self):
+        assert single_byte_model(2)[0] == pytest.approx(2.0 / 256.0)
+
+    def test_z16_model_has_keylen_peak(self):
+        dist = single_byte_model(16)
+        assert dist[240] > 1.02 / 256.0
+
+    def test_longterm_w256_distribution(self):
+        dist = w256_gap1_distribution()
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist[0, 0] == pytest.approx(SENGUPTA_00.probability)
+        assert dist[128, 0] == pytest.approx(NEW_128_0.probability)
+        assert len(W256_PAIR_BIASES) == 2

@@ -1,0 +1,44 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInProcess:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "subsystems" in out
+
+    def test_scale_seed_flags(self, capsys):
+        assert main(["--scale", "2.0", "--seed", "42", "info"]) == 0
+        assert "scale=2.0 seed=42" in capsys.readouterr().out
+
+    def test_tkip_attack(self, capsys):
+        assert main(["--scale", "0.5", "--seed", "1", "tkip"]) == 0
+        out = capsys.readouterr().out
+        assert "correct: True" in out
+        assert "recovered MIC key:" in out
+
+    def test_https_attack(self, capsys):
+        assert main(["--scale", "0.5", "--seed", "1", "https"]) == 0
+        assert "recovered cookie:" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+def test_module_invocation():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "info"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "repro" in result.stdout

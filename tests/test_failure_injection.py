@@ -1,0 +1,149 @@
+"""Failure-injection tests: the stacks must *reject* what they should.
+
+Security substrates are defined as much by what they refuse as by what
+they accept; these tests corrupt every field an attacker touches and
+assert the corresponding check fires (and, where the paper exploits a
+*missing* check, that the exploit path stays open).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttackError, TkipError, TlsError
+from repro.tkip import TcpPacketSpec, TkipFrame, TkipSession
+from repro.tls import TlsConnection, TlsRecord
+
+TA = bytes.fromhex("105fb0e09f60")
+DA = bytes.fromhex("aabbccddeeff")
+
+
+def _tkip_pair(rng):
+    sender = TkipSession.random(rng, TA)
+    receiver = TkipSession(tk=sender.tk, mic_key=sender.mic_key, ta=TA)
+    return sender, receiver
+
+
+def _spec():
+    return TcpPacketSpec(
+        source_ip="192.168.1.101",
+        dest_ip="203.0.113.7",
+        source_port=51324,
+        dest_port=80,
+        payload=b"ATTACK!",
+    )
+
+
+class TestTkipRejection:
+    @pytest.mark.parametrize("byte_index", [0, 10, 30, 54, 60, 66])
+    def test_any_ciphertext_flip_rejected(self, rng, byte_index):
+        sender, receiver = _tkip_pair(rng)
+        frame = sender.encapsulate(_spec().msdu_data(), DA, TA)
+        tampered = bytearray(frame.ciphertext)
+        tampered[byte_index] ^= 0x80
+        bad = TkipFrame(
+            ta=frame.ta, da=frame.da, sa=frame.sa, tsc=frame.tsc,
+            ciphertext=bytes(tampered),
+        )
+        with pytest.raises(TkipError):
+            receiver.decapsulate(bad)
+
+    def test_tsc_substitution_rejected(self, rng):
+        """Moving a valid frame to another TSC changes the per-packet key,
+        so decryption garbles and the ICV fails."""
+        sender, receiver = _tkip_pair(rng)
+        frame = sender.encapsulate(_spec().msdu_data(), DA, TA)
+        moved = TkipFrame(
+            ta=frame.ta, da=frame.da, sa=frame.sa, tsc=frame.tsc + 1,
+            ciphertext=frame.ciphertext,
+        )
+        with pytest.raises(TkipError):
+            receiver.decapsulate(moved)
+
+    def test_address_substitution_rejected(self, rng):
+        """DA/SA feed the Michael header: redirecting a frame must fail
+        the MIC even though the ICV still passes."""
+        sender, receiver = _tkip_pair(rng)
+        frame = sender.encapsulate(_spec().msdu_data(), DA, TA)
+        redirected = TkipFrame(
+            ta=frame.ta, da=bytes(6), sa=frame.sa, tsc=frame.tsc,
+            ciphertext=frame.ciphertext,
+        )
+        with pytest.raises(TkipError, match="MIC"):
+            receiver.decapsulate(redirected)
+
+    def test_replay_window_strictness(self, rng):
+        sender, receiver = _tkip_pair(rng)
+        msdu = _spec().msdu_data()
+        first = sender.encapsulate(msdu, DA, TA)
+        second = sender.encapsulate(msdu, DA, TA)
+        receiver.decapsulate(second)
+        with pytest.raises(TkipError, match="replay"):
+            receiver.decapsulate(first)  # older TSC after newer
+
+    def test_truncated_frame_rejected(self, rng):
+        sender, receiver = _tkip_pair(rng)
+        frame = sender.encapsulate(_spec().msdu_data(), DA, TA)
+        short = TkipFrame(
+            ta=frame.ta, da=frame.da, sa=frame.sa, tsc=frame.tsc,
+            ciphertext=frame.ciphertext[:8],
+        )
+        with pytest.raises(TkipError):
+            receiver.decapsulate(short)
+
+
+class TestTlsRejection:
+    def test_reordered_records_rejected(self, rng):
+        conn = TlsConnection.handshake(rng)
+        first = conn.client_send(b"one")
+        second = conn.client_send(b"two")
+        with pytest.raises(TlsError):
+            conn.server_receive(second)  # out of order
+
+    def test_truncated_fragment_rejected(self, rng):
+        conn = TlsConnection.handshake(rng)
+        record = conn.client_send(b"hello")
+        truncated = TlsRecord(
+            content_type=record.content_type,
+            version=record.version,
+            fragment=record.fragment[:10],
+        )
+        with pytest.raises(TlsError):
+            conn.server_receive(truncated)
+
+    def test_cross_connection_record_rejected(self, rng):
+        a = TlsConnection.handshake(rng)
+        b = TlsConnection.handshake(rng)
+        record = a.client_send(b"for A only")
+        with pytest.raises(TlsError):
+            b.server_receive(record)
+
+    def test_parse_rejects_truncation(self):
+        with pytest.raises(TlsError):
+            TlsRecord.parse(b"\x17\x03\x03\x00\x10only-8-bytes")
+
+
+class TestAttackErrorPaths:
+    def test_tkip_attack_without_coverage(self, rng, config):
+        """A capture that misses the MIC/ICV positions must fail loudly,
+        not silently return garbage."""
+        from repro.simulate import WifiAttackSimulation, sampled_capture
+        from repro.tkip import default_tsc_space, generate_per_tsc
+
+        sim = WifiAttackSimulation(config)
+        per_tsc = generate_per_tsc(config, default_tsc_space(2),
+                                   keys_per_tsc=128, length=16)
+        capture = sampled_capture(
+            per_tsc, sim.true_plaintext[:16], range(1, 17),
+            packets_per_tsc=16, seed=rng,
+        )
+        with pytest.raises(AttackError):
+            sim.attack(capture, per_tsc, max_candidates=16)
+
+    def test_cookie_stats_reject_foreign_layout(self, config):
+        from repro.simulate import HttpsAttackSimulation
+        from repro.tls import CookieStatistics
+
+        sim = HttpsAttackSimulation(config, cookie_len=3, max_gap=4)
+        stats = CookieStatistics.empty(sim.layout, max_gap=4)
+        with pytest.raises(AttackError):
+            stats.ingest_fragment(b"\x00" * 4, offset=1)

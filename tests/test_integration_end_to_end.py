@@ -1,0 +1,126 @@
+"""Cross-module integration: the two full attacks, packet level and scaled.
+
+These tests run the complete pipelines exactly as the examples do — real
+RC4, real protocol stacks — at sizes that keep the suite fast.  Where
+recovery needs paper-scale ciphertexts, the sampled sufficient-statistic
+path stands in (see DESIGN.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.simulate import (
+    HttpsAttackSimulation,
+    WifiAttackSimulation,
+    sampled_capture,
+)
+from repro.tkip import default_tsc_space, generate_per_tsc
+
+
+class TestWifiPacketLevel:
+    def test_injection_capture_statistics_flow(self):
+        """Packet-level: inject real frames, build per-TSC statistics,
+        confirm capture plumbing (not statistical success) end to end."""
+        config = ReproConfig(seed=42)
+        sim = WifiAttackSimulation(config)
+        capture = sim.capture(64)
+        assert capture.num_captured == 64
+        # Every ciphertext byte counted once per covered position.
+        total = sum(int(t.sum()) for t in capture.counts.values())
+        assert total == 64 * len(capture.positions)
+
+    def test_capture_ciphertexts_are_real_rc4(self):
+        """The captured counts must be consistent with RC4 encryptions of
+        the true plaintext: decrypting with the per-packet key works."""
+        from repro.rc4 import rc4_crypt
+        from repro.tkip.keymix import per_packet_key
+
+        config = ReproConfig(seed=43)
+        sim = WifiAttackSimulation(config)
+        frame = sim.campaign.session.encapsulate(
+            sim.spec.msdu_data(), sim.campaign.da, sim.campaign.sa
+        )
+        key = per_packet_key(sim.victim.ta, sim.victim.tk, frame.tsc)
+        assert rc4_crypt(key, frame.ciphertext) == sim.true_plaintext
+
+    def test_full_recovery_with_sampled_capture(self):
+        """Scaled §5 attack: sampled captures, candidate pruning, Michael
+        inversion, and MIC key verification."""
+        config = ReproConfig(seed=44)
+        sim = WifiAttackSimulation(config)
+        plaintext = sim.true_plaintext
+        per_tsc = generate_per_tsc(
+            config, default_tsc_space(8), keys_per_tsc=1 << 12,
+            length=len(plaintext),
+        )
+        capture = sampled_capture(
+            per_tsc, plaintext, range(1, len(plaintext) + 1),
+            packets_per_tsc=1 << 12, seed=config.rng("cap"),
+        )
+        result = sim.attack(capture, per_tsc, max_candidates=1 << 18)
+        assert result.correct
+        assert result.mic_key == sim.victim.mic_key
+
+
+class TestHttpsPacketLevel:
+    def test_real_traffic_statistics_flow(self):
+        """Packet-level: real TLS records through the sniffer into the
+        statistics collector; 512-byte aligned records throughout."""
+        sim = HttpsAttackSimulation(ReproConfig(seed=45), cookie_len=4, max_gap=16)
+        stats = sim.capture_statistics(64)
+        assert stats.num_requests == 64
+        assert (sim.layout.request_len + 20) % 256 == 0
+
+    def test_packet_and_sampled_statistics_agree_in_expectation(self):
+        """The sampled path must match the packet-level path's marginal
+        totals (same layout, same alignments)."""
+        sim = HttpsAttackSimulation(ReproConfig(seed=46), cookie_len=3, max_gap=8)
+        real = sim.capture_statistics(32)
+        fake = sim.sampled_statistics(32)
+        assert real.fm_counts.shape == fake.fm_counts.shape
+        assert set(real.absab_counts) == set(fake.absab_counts)
+        assert real.num_requests == fake.num_requests
+
+    def test_full_recovery_with_sampled_statistics(self):
+        """Scaled §6 attack: FM + ABSAB combination, Algorithm 2 over the
+        cookie alphabet, brute-force oracle."""
+        sim = HttpsAttackSimulation(ReproConfig(seed=47), cookie_len=2, max_gap=128)
+        stats = sim.sampled_statistics(1 << 28)
+        result = sim.attack(stats, num_candidates=1 << 12)
+        assert result.cookie == sim.secret
+        assert result.attempts == result.rank + 1
+
+    def test_rekeying_tolerated(self):
+        """§6.3: the attack survives connection rekeys because fresh
+        connections restart the keystream at position 1."""
+        sim = HttpsAttackSimulation(ReproConfig(seed=48), cookie_len=3, max_gap=8)
+        rng = sim.config.rng("rekey")
+        sniffer = sim.campaign.run(20, rng, reconnect_every=5)
+        from repro.tls import CookieStatistics
+
+        stats = CookieStatistics.empty(sim.layout, max_gap=8)
+        stats.ingest_sniffer(sniffer)
+        assert stats.num_requests == 20
+
+
+class TestCrossSubstrateConsistency:
+    def test_recovered_plaintext_reparses_as_packet(self):
+        """After the TKIP attack the decrypted bytes must parse back into
+        LLC/IP/TCP with valid checksums — the §5.3 pruning premise."""
+        from repro.tkip import parse_msdu_data
+
+        config = ReproConfig(seed=49)
+        sim = WifiAttackSimulation(config)
+        data = sim.true_plaintext[:-12]  # strip MIC + ICV
+        llc, ip, tcp, payload = parse_msdu_data(data)
+        assert ip.checksum_valid()
+        assert tcp.checksum_valid(ip.source, ip.destination, payload)
+        assert payload == sim.payload
+
+    def test_paper_wall_clock_statements(self):
+        """§5.4 and §6.3 arithmetic as reported in the paper."""
+        from repro.simulate import tkip_timeline, tls_timeline
+
+        assert tkip_timeline().capture_hours < 1.2
+        assert 74 < tls_timeline().capture_hours < 77

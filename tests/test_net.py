@@ -1,0 +1,137 @@
+"""IPv4/TCP/LLC-SNAP construction, parsing, and checksums."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PacketError
+from repro.net import (
+    IPv4Header,
+    LLC_SNAP_IPV4,
+    LlcSnapHeader,
+    TcpHeader,
+    internet_checksum,
+    tcp_checksum,
+)
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # Classic example: 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 folded.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_checksum_over_packet_with_checksum_is_zero_complement(self):
+        header = IPv4Header("1.2.3.4", "5.6.7.8", total_length=40).build()
+        assert internet_checksum(header) == 0
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        header = IPv4Header(
+            source="192.168.1.101",
+            destination="203.0.113.7",
+            total_length=47,
+            ttl=37,
+            identification=0xBEEF,
+        )
+        parsed = IPv4Header.parse(header.build())
+        assert parsed.source == "192.168.1.101"
+        assert parsed.destination == "203.0.113.7"
+        assert parsed.total_length == 47
+        assert parsed.ttl == 37
+        assert parsed.identification == 0xBEEF
+        assert parsed.checksum_valid()
+
+    def test_corruption_detected(self):
+        raw = bytearray(IPv4Header("1.1.1.1", "2.2.2.2", total_length=40).build())
+        raw[8] ^= 0xFF  # TTL flip
+        assert not IPv4Header.parse(bytes(raw)).checksum_valid()
+
+    def test_forced_checksum_emitted_verbatim(self):
+        header = IPv4Header("1.1.1.1", "2.2.2.2", total_length=40, checksum=0x1234)
+        assert header.build()[10:12] == b"\x12\x34"
+
+    def test_bad_address(self):
+        with pytest.raises(PacketError):
+            IPv4Header("1.2.3", "2.2.2.2", total_length=40).build()
+        with pytest.raises(PacketError):
+            IPv4Header("1.2.3.999", "2.2.2.2", total_length=40).build()
+
+    def test_bad_ttl(self):
+        with pytest.raises(PacketError):
+            IPv4Header("1.1.1.1", "2.2.2.2", total_length=40, ttl=300).build()
+
+    def test_short_parse(self):
+        with pytest.raises(PacketError):
+            IPv4Header.parse(b"\x45" * 10)
+
+
+class TestTcp:
+    def test_roundtrip_with_payload(self):
+        header = TcpHeader(source_port=51324, dest_port=80, seq=7, ack=9)
+        segment = header.build(
+            source_ip="10.0.0.1", dest_ip="10.0.0.2", payload=b"ATTACK!"
+        )
+        parsed, payload = TcpHeader.parse(segment)
+        assert payload == b"ATTACK!"
+        assert parsed.source_port == 51324
+        assert parsed.dest_port == 80
+        assert parsed.checksum_valid("10.0.0.1", "10.0.0.2", b"ATTACK!")
+
+    def test_corrupt_payload_detected(self):
+        header = TcpHeader(source_port=1, dest_port=2)
+        segment = header.build(source_ip="1.1.1.1", dest_ip="2.2.2.2", payload=b"ok")
+        parsed, _ = TcpHeader.parse(segment)
+        assert not parsed.checksum_valid("1.1.1.1", "2.2.2.2", b"no")
+
+    def test_checksum_depends_on_pseudo_header(self):
+        header = TcpHeader(source_port=1, dest_port=2)
+        a = header.build(source_ip="1.1.1.1", dest_ip="2.2.2.2")
+        b = header.build(source_ip="1.1.1.1", dest_ip="2.2.2.3")
+        assert a[16:18] != b[16:18]
+
+    def test_needs_endpoints_for_checksum(self):
+        with pytest.raises(PacketError):
+            TcpHeader(source_port=1, dest_port=2).build()
+
+    def test_bad_port(self):
+        with pytest.raises(PacketError):
+            TcpHeader(source_port=70000, dest_port=2).build(
+                source_ip="1.1.1.1", dest_ip="2.2.2.2"
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        sport=st.integers(0, 65535),
+        dport=st.integers(0, 65535),
+        payload=st.binary(max_size=64),
+    )
+    def test_property_roundtrip(self, sport, dport, payload):
+        header = TcpHeader(source_port=sport, dest_port=dport)
+        segment = header.build(
+            source_ip="10.1.2.3", dest_ip="172.16.0.9", payload=payload
+        )
+        parsed, got = TcpHeader.parse(segment)
+        assert got == payload
+        assert parsed.checksum_valid("10.1.2.3", "172.16.0.9", payload)
+
+
+class TestLlcSnap:
+    def test_build_parse(self):
+        raw = LLC_SNAP_IPV4.build()
+        assert len(raw) == 8
+        header, rest = LlcSnapHeader.parse(raw + b"payload")
+        assert header.ethertype == 0x0800
+        assert rest == b"payload"
+
+    def test_reject_garbage(self):
+        with pytest.raises(PacketError):
+            LlcSnapHeader.parse(b"\x00" * 8)
+
+    def test_reject_short(self):
+        with pytest.raises(PacketError):
+            LlcSnapHeader.parse(b"\xaa\xaa\x03")

@@ -1,0 +1,83 @@
+"""Key derivation and the seekable keystream view."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.rc4 import KeystreamKeySource, RC4Stream, derive_keys, rc4_keystream
+
+
+class TestKeySource:
+    def test_shape_and_dtype(self):
+        source = KeystreamKeySource(b"worker-1")
+        keys = source.next_keys(100)
+        assert keys.shape == (100, 16) and keys.dtype == np.uint8
+
+    def test_sequential_batches_differ(self):
+        source = KeystreamKeySource(b"worker-1")
+        a, b = source.next_keys(10), source.next_keys(10)
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_same_stream(self):
+        a = KeystreamKeySource(b"w").next_keys(20)
+        b = KeystreamKeySource(b"w").next_keys(20)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = KeystreamKeySource(b"w1").next_keys(20)
+        b = KeystreamKeySource(b"w2").next_keys(20)
+        assert not np.array_equal(a, b)
+
+    def test_cryptographic_mode_deterministic(self):
+        a = KeystreamKeySource(b"c", cryptographic=True).next_keys(9)
+        b = KeystreamKeySource(b"c", cryptographic=True).next_keys(9)
+        assert np.array_equal(a, b)
+
+    def test_cryptographic_mode_roughly_uniform(self):
+        keys = KeystreamKeySource(b"u", cryptographic=True).next_keys(4096)
+        mean = keys.astype(np.float64).mean()
+        assert 120.0 < mean < 135.0  # uniform mean is 127.5
+
+    def test_bad_keylen_rejected(self):
+        with pytest.raises(ValueError):
+            KeystreamKeySource(b"x", keylen=0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            KeystreamKeySource(b"x").next_keys(-1)
+
+
+class TestDeriveKeys:
+    def test_label_separation(self):
+        config = ReproConfig(seed=7)
+        a = derive_keys(config, "label-a", 16)
+        b = derive_keys(config, "label-b", 16)
+        assert not np.array_equal(a, b)
+
+    def test_seed_determinism(self):
+        a = derive_keys(ReproConfig(seed=7), "l", 16)
+        b = derive_keys(ReproConfig(seed=7), "l", 16)
+        assert np.array_equal(a, b)
+
+
+class TestRc4Stream:
+    def test_matches_keystream(self):
+        stream = RC4Stream(b"seek")
+        ref = rc4_keystream(b"seek", 64)
+        assert stream.byte(1) == ref[0]
+        assert stream.byte(64) == ref[63]
+        assert stream.bytes(10, 20) == ref[9:29]
+
+    def test_revisiting_positions(self):
+        stream = RC4Stream(b"revisit")
+        first = stream.byte(50)
+        stream.byte(200)
+        assert stream.byte(50) == first
+
+    def test_one_indexing_enforced(self):
+        with pytest.raises(IndexError):
+            RC4Stream(b"x").byte(0)
+
+    def test_getitem(self):
+        stream = RC4Stream(b"item")
+        assert stream[3] == rc4_keystream(b"item", 3)[2]

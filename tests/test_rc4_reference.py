@@ -1,0 +1,99 @@
+"""Unit tests for the reference RC4 implementation (paper §2.1)."""
+
+import pytest
+
+from repro.errors import KeyLengthError
+from repro.rc4 import RC4, ksa, prga, rc4_crypt, rc4_keystream
+
+
+class TestVectors:
+    """Published RC4 test vectors."""
+
+    def test_key_plaintext(self):
+        assert rc4_crypt(b"Key", b"Plaintext").hex().upper() == "BBF316E8D940AF0AD3"
+
+    def test_wiki_pedia(self):
+        assert rc4_crypt(b"Wiki", b"pedia").hex().upper() == "1021BF0420"
+
+    def test_secret_attack_at_dawn(self):
+        expected = "45A01F645FC35B383552544B9BF5"
+        assert rc4_crypt(b"Secret", b"Attack at dawn").hex().upper() == expected
+
+
+class TestKsa:
+    def test_returns_a_permutation(self):
+        state = ksa(b"any key")
+        assert sorted(state) == list(range(256))
+
+    def test_deterministic(self):
+        assert ksa(b"k1") == ksa(b"k1")
+
+    def test_key_sensitivity(self):
+        assert ksa(b"k1") != ksa(b"k2")
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(KeyLengthError):
+            ksa(b"")
+
+    def test_rejects_overlong_key(self):
+        with pytest.raises(KeyLengthError):
+            ksa(bytes(257))
+
+    def test_accepts_max_length_key(self):
+        assert len(ksa(bytes(256))) == 256
+
+
+class TestPrga:
+    def test_does_not_mutate_input_state(self):
+        state = ksa(b"immutable")
+        snapshot = list(state)
+        gen = prga(state)
+        for _ in range(64):
+            next(gen)
+        assert state == snapshot
+
+    def test_bytes_in_range(self):
+        gen = prga(ksa(b"range"))
+        assert all(0 <= next(gen) <= 255 for _ in range(512))
+
+
+class TestKeystreamHelpers:
+    def test_keystream_prefix_consistency(self):
+        long = rc4_keystream(b"prefix", 128)
+        short = rc4_keystream(b"prefix", 32)
+        assert long[:32] == short
+
+    def test_drop_skips_initial_bytes(self):
+        full = rc4_keystream(b"drop", 300)
+        dropped = rc4_keystream(b"drop", 44, drop=256)
+        assert dropped == full[256:]
+
+    def test_crypt_roundtrip(self):
+        data = bytes(range(256)) * 3
+        assert rc4_crypt(b"rt", rc4_crypt(b"rt", data)) == data
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            rc4_keystream(b"k", -1)
+
+
+class TestStatefulRc4:
+    def test_continuation_matches_one_shot(self):
+        cipher = RC4(b"stateful")
+        got = cipher.keystream(10) + cipher.keystream(22)
+        assert got == rc4_keystream(b"stateful", 32)
+
+    def test_position_tracking(self):
+        cipher = RC4(b"pos")
+        cipher.keystream(7)
+        cipher.crypt(b"abcde")
+        assert cipher.position == 12
+
+    def test_drop_parameter(self):
+        cipher = RC4(b"d", drop=100)
+        assert cipher.keystream(16) == rc4_keystream(b"d", 16, drop=100)
+
+    def test_two_instances_independent(self):
+        a, b = RC4(b"same"), RC4(b"same")
+        a.keystream(100)
+        assert b.keystream(4) == rc4_keystream(b"same", 4)

@@ -1,0 +1,115 @@
+"""Sufficient-statistic samplers, timing models, and simulation glue."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.errors import DistributionError
+from repro.simulate import (
+    AttackTimeline,
+    sample_absab_differential_counts,
+    sample_digraph_counts,
+    sample_single_byte_counts,
+    sampled_capture,
+    tkip_timeline,
+    tls_timeline,
+)
+from repro.tkip import default_tsc_space, generate_per_tsc
+
+
+class TestSingleByteSampler:
+    def test_total_preserved(self, rng):
+        dist = np.full(256, 1 / 256)
+        counts = sample_single_byte_counts(dist, 5000, 7, seed=rng)
+        assert counts.sum() == 5000
+
+    def test_bias_lands_on_shifted_cell(self):
+        """A keystream peak at k means a ciphertext peak at k ^ plaintext."""
+        dist = np.full(256, 1e-9)
+        dist[5] = 1.0
+        dist /= dist.sum()
+        counts = sample_single_byte_counts(dist, 1000, 0x42, seed=0)
+        assert counts.argmax() == 5 ^ 0x42
+
+    def test_poisson_mode_close_to_multinomial_mean(self):
+        dist = np.full(256, 1 / 256)
+        counts = sample_single_byte_counts(
+            dist, 1 << 20, 0, seed=1, method="poisson"
+        )
+        assert counts.mean() == pytest.approx((1 << 20) / 256, rel=0.05)
+
+    def test_validation(self, rng):
+        with pytest.raises(DistributionError):
+            sample_single_byte_counts(np.full(10, 0.1), 10, 0, seed=rng)
+        with pytest.raises(DistributionError):
+            sample_single_byte_counts(np.full(256, 1 / 256), 10, 300, seed=rng)
+
+
+class TestDigraphSampler:
+    def test_shape_and_total(self, rng):
+        dist = np.full((256, 256), 1 / 65536)
+        counts = sample_digraph_counts(dist, 4000, (1, 2), seed=rng)
+        assert counts.shape == (256, 256)
+        assert counts.sum() == 4000
+
+    def test_peak_shifted_by_both_bytes(self):
+        dist = np.full((256, 256), 1e-12)
+        dist[3, 4] = 1.0
+        dist /= dist.sum()
+        counts = sample_digraph_counts(dist, 100, (0x10, 0x20), seed=0)
+        peak = np.unravel_index(counts.argmax(), counts.shape)
+        assert peak == (3 ^ 0x10, 4 ^ 0x20)
+
+
+class TestAbsabSampler:
+    def test_biased_cell_is_plaintext_differential(self):
+        counts = sample_absab_differential_counts(0, 1 << 24, (7, 9), seed=3)
+        assert counts.sum() == 1 << 24
+        # cell (7,9) should be among the very top cells
+        idx = (7 << 8) | 9
+        rank = int((counts > counts[idx]).sum())
+        assert rank < 65536 // 4
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            sample_absab_differential_counts(0, 10, (300, 0), seed=1)
+
+
+class TestSampledCapture:
+    def test_equivalence_shape(self, config):
+        per_tsc = generate_per_tsc(
+            config, default_tsc_space(4), keys_per_tsc=512, length=8
+        )
+        capture = sampled_capture(
+            per_tsc, b"\x01" * 8, range(1, 9), packets_per_tsc=100,
+            seed=config.rng("sc"),
+        )
+        assert capture.num_captured == 400
+        assert set(capture.counts) == set(per_tsc.tsc_values)
+        for table in capture.counts.values():
+            assert np.all(table.sum(axis=1) == 100)
+
+    def test_position_out_of_range(self, config):
+        per_tsc = generate_per_tsc(config, [0], keys_per_tsc=128, length=4)
+        with pytest.raises(DistributionError):
+            sampled_capture(
+                per_tsc, b"\x00" * 8, range(1, 9), packets_per_tsc=10,
+                seed=config.rng("x"),
+            )
+
+
+class TestTimelines:
+    def test_paper_tkip_hour(self):
+        timeline = tkip_timeline()
+        assert 1.0 < timeline.capture_hours < 1.25
+
+    def test_paper_tls_75_hours(self):
+        timeline = tls_timeline()
+        assert 74.0 < timeline.capture_hours < 77.0
+        assert timeline.search_seconds < 7 * 60
+
+    def test_total_includes_search(self):
+        timeline = AttackTimeline(
+            samples=3600, capture_rate=1.0, search_candidates=7200, search_rate=2.0
+        )
+        assert timeline.total_hours == pytest.approx(2.0)

@@ -1,0 +1,91 @@
+"""Chi-squared and M-test behaviour: calibration and power."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats import chi2_gof_test, chi2_uniformity_test, m_test
+
+
+class TestChi2:
+    def test_matches_scipy(self, rng):
+        counts = rng.multinomial(10000, np.full(64, 1 / 64))
+        ours = chi2_uniformity_test(counts)
+        theirs = scipy_stats.chisquare(counts)
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue)
+
+    def test_null_calibration(self, rng):
+        """Under uniform data, p-values should rarely dip below 1e-3."""
+        hits = 0
+        for _ in range(50):
+            counts = rng.multinomial(1 << 16, np.full(256, 1 / 256))
+            if chi2_uniformity_test(counts).p_value < 1e-3:
+                hits += 1
+        assert hits <= 2
+
+    def test_detects_mantin_shamir_strength_bias(self, rng):
+        """A 2x bias on one cell (the Z2 = 0 bias) is found easily."""
+        probs = np.full(256, 1 / 256)
+        probs[0] *= 2.0
+        probs /= probs.sum()
+        counts = rng.multinomial(1 << 16, probs)
+        assert chi2_uniformity_test(counts).p_value < 1e-10
+
+    def test_rejects_mismatched_totals(self):
+        with pytest.raises(ValueError):
+            chi2_gof_test(np.ones(4), np.full(4, 2.0))
+
+    def test_rejects_nonpositive_expected(self):
+        with pytest.raises(ValueError):
+            chi2_gof_test(np.ones(4), np.array([2.0, 1.0, 1.0, 0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            chi2_gof_test(np.ones(4), np.ones(5))
+
+
+class TestMTest:
+    def test_null_calibration_independent_table(self, rng):
+        p_values = []
+        for _ in range(20):
+            table = rng.multinomial(1 << 18, np.full(1024, 1 / 1024)).reshape(32, 32)
+            p_values.append(m_test(table).p_value)
+        assert min(p_values) > 1e-4
+
+    def test_detects_single_biased_cell(self, rng):
+        """One outlier cell in a 256x256 table — the FM situation."""
+        probs = np.full(65536, 1 / 65536)
+        probs[1234] *= 1.5
+        probs /= probs.sum()
+        table = rng.multinomial(1 << 24, probs).reshape(256, 256)
+        result = m_test(table)
+        assert result.rejects(1e-4)
+        assert result.worst_cell == (1234 // 256, 1234 % 256)
+
+    def test_single_byte_bias_alone_not_flagged_as_dependence(self, rng):
+        """The §3.1 point: a marginal (single-byte) bias must NOT reject
+        the independence null."""
+        row_p = np.full(16, 1 / 16)
+        row_p[0] *= 3.0
+        row_p /= row_p.sum()
+        col_p = np.full(16, 1 / 16)
+        joint = np.outer(row_p, col_p).ravel()
+        table = rng.multinomial(1 << 20, joint).reshape(16, 16)
+        assert not m_test(table).rejects(1e-4)
+
+    def test_residual_shape(self, rng):
+        table = rng.multinomial(5000, np.full(64, 1 / 64)).reshape(8, 8)
+        assert m_test(table).residuals.shape == (8, 8)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            m_test(np.array([[1, -1], [2, 3]]))
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            m_test(np.zeros((4, 4)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            m_test(np.ones(16))

@@ -1,0 +1,97 @@
+"""The end-to-end bias-detection pipeline (paper §3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import BiasDetector, relative_bias
+
+
+def _uniform_counts(rng, positions, n):
+    return np.stack(
+        [rng.multinomial(n, np.full(256, 1 / 256)) for _ in range(positions)]
+    )
+
+
+class TestSingleByteScan:
+    def test_flags_planted_bias_and_only_it(self, rng):
+        counts = _uniform_counts(rng, 8, 1 << 17)
+        probs = np.full(256, 1 / 256)
+        probs[0] *= 2.0  # Mantin-Shamir strength
+        probs /= probs.sum()
+        counts[1] = rng.multinomial(1 << 17, probs)
+        report = BiasDetector(alpha=1e-4).scan_single_bytes(counts)
+        assert report.biased_positions == [2]  # 1-indexed
+
+    def test_no_false_positives_on_uniform(self, rng):
+        counts = _uniform_counts(rng, 16, 1 << 15)
+        report = BiasDetector(alpha=1e-4).scan_single_bytes(counts)
+        assert report.biased_positions == []
+
+    def test_custom_position_labels(self, rng):
+        counts = _uniform_counts(rng, 3, 4096)
+        report = BiasDetector().scan_single_bytes(counts, positions=[272, 304, 336])
+        assert set(report.position_p_values) == {272, 304, 336}
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BiasDetector().scan_single_bytes(np.zeros((4, 255)))
+
+
+class TestPairScan:
+    def test_flags_dependent_cell(self, rng):
+        probs = np.full(65536, 1 / 65536)
+        probs[(15 << 8) | 240] *= 1.4
+        probs /= probs.sum()
+        table = rng.multinomial(1 << 24, probs).reshape(256, 256)
+        report = BiasDetector(alpha=1e-4).scan_pair(table, (15, 16))
+        assert (15, 16) in report.dependent_pairs
+        values = {cell.values for cell in report.cells_for((15, 16))}
+        assert (15, 240) in values
+
+    def test_relative_bias_sign_reported(self, rng):
+        probs = np.full(65536, 1 / 65536)
+        probs[0] *= 0.5  # negative bias on (0, 0)
+        probs /= probs.sum()
+        table = rng.multinomial(1 << 24, probs).reshape(256, 256)
+        report = BiasDetector().scan_pair(table, (1, 2))
+        cells = [c for c in report.cells if c.values == (0, 0)]
+        assert cells and cells[0].sign == -1
+
+    def test_independent_table_not_flagged(self, rng):
+        table = rng.multinomial(1 << 20, np.full(65536, 1 / 65536)).reshape(256, 256)
+        report = BiasDetector().scan_pair(table, (3, 4))
+        assert report.dependent_pairs == []
+        assert report.cells == []
+
+    def test_marginal_bias_not_reported_as_dependence(self, rng):
+        """A strong single-byte bias with independent bytes must yield no
+        dependent cells — the §3.1 null-hypothesis subtlety."""
+        row = np.full(256, 1 / 256)
+        row[0] *= 2.0
+        row /= row.sum()
+        joint = np.outer(row, np.full(256, 1 / 256)).ravel()
+        table = rng.multinomial(1 << 22, joint).reshape(256, 256)
+        report = BiasDetector().scan_pair(table, (2, 3))
+        assert report.dependent_pairs == []
+
+    def test_scan_pairs_stack(self, rng):
+        tables = np.stack(
+            [
+                rng.multinomial(1 << 18, np.full(65536, 1 / 65536)).reshape(256, 256)
+                for _ in range(2)
+            ]
+        )
+        report = BiasDetector().scan_pairs(tables, [(1, 2), (3, 4)])
+        assert set(report.pair_p_values) == {(1, 2), (3, 4)}
+
+
+class TestRelativeBias:
+    def test_matches_paper_notation(self):
+        # s = p (1 + q): recover q.
+        p, q = 2.0**-16, -(2.0**-4.894)
+        s = p * (1 + q)
+        assert relative_bias(s, p) == pytest.approx(q)
+
+    def test_vectorised(self):
+        out = relative_bias(np.array([0.02, 0.01]), np.array([0.01, 0.01]))
+        assert out == pytest.approx([1.0, 0.0])

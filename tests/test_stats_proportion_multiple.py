@@ -1,0 +1,133 @@
+"""Proportion tests, Holm correction, power arithmetic, LLR comparison."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats import (
+    detectable_relative_bias,
+    holm,
+    llr_model_comparison,
+    proportion_test,
+    proportion_test_many,
+    required_samples,
+)
+from repro.stats.multiple import holm_adjusted
+
+
+class TestProportion:
+    def test_matches_binomtest_for_moderate_n(self):
+        result = proportion_test(620, 10000, 0.06)
+        ref = scipy_stats.binomtest(620, 10000, 0.06).pvalue
+        assert result.p_value == pytest.approx(ref, rel=0.15)
+
+    def test_two_sided_symmetry(self):
+        high = proportion_test(600, 10000, 0.05)
+        low = proportion_test(400, 10000, 0.05)
+        assert high.p_value == pytest.approx(low.p_value, rel=1e-9)
+        assert high.z == pytest.approx(-low.z, rel=1e-9)
+
+    def test_exact_null_gives_p_one(self):
+        assert proportion_test(500, 10000, 0.05).p_value == pytest.approx(1.0)
+
+    def test_vectorised_matches_scalar(self, rng):
+        observed = rng.integers(0, 100, size=16)
+        z, p = proportion_test_many(observed, 1000, np.full(16, 0.05))
+        for i in range(16):
+            scalar = proportion_test(int(observed[i]), 1000, 0.05)
+            assert z[i] == pytest.approx(scalar.z)
+            assert p[i] == pytest.approx(scalar.p_value)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            proportion_test(1, 0, 0.5)
+        with pytest.raises(ValueError):
+            proportion_test(1, 10, 1.5)
+        with pytest.raises(ValueError):
+            proportion_test(11, 10, 0.5)
+
+
+class TestHolm:
+    def test_rejects_obvious_and_keeps_null(self):
+        p = np.array([1e-10, 0.2, 0.8, 1e-7])
+        rejected = holm(p, 0.01)
+        assert list(rejected) == [True, False, False, True]
+
+    def test_controls_fwer_under_null(self, rng):
+        """With all-null uniform p-values, family-wise rejections should be
+        rare at alpha = 0.05 (probability ~5 percent per family)."""
+        families_with_rejection = 0
+        for _ in range(200):
+            p = rng.uniform(size=20)
+            if holm(p, 0.05).any():
+                families_with_rejection += 1
+        assert families_with_rejection < 30
+
+    def test_stepdown_stops_at_first_failure(self):
+        # Second-smallest p (0.03) fails its threshold 0.05/2 = 0.025, so
+        # only the smallest rejects even though 0.03 < alpha and the
+        # largest (0.2) would trivially fail anyway.
+        p = np.array([0.001, 0.2, 0.03])
+        rejected = holm(p, 0.05)
+        assert rejected.sum() == 1 and rejected[0]
+
+    def test_adjusted_monotone_and_bounded(self, rng):
+        p = rng.uniform(size=50)
+        adj = holm_adjusted(p)
+        assert np.all(adj >= p - 1e-12)
+        assert np.all(adj <= 1.0)
+        order = np.argsort(p)
+        assert np.all(np.diff(adj[order]) >= -1e-12)
+
+    def test_empty_input(self):
+        assert holm(np.array([]), 0.05).size == 0
+
+
+class TestPower:
+    def test_fm_cell_needs_about_2_37_samples(self):
+        """The reason Table 1 cannot be re-detected per cell at laptop
+        scale: q = 2^-8 on p = 2^-16 needs ~2^36-2^38 samples."""
+        n = required_samples(2.0**-16, 2.0**-8)
+        assert 2**35 < n < 2**39
+
+    def test_mantin_shamir_needs_few_samples(self):
+        n = required_samples(2.0**-8, 1.0)
+        assert n < 2**14
+
+    def test_roundtrip_with_detectable_bias(self):
+        n = required_samples(2.0**-8, 0.01)
+        q = detectable_relative_bias(2.0**-8, n)
+        assert q == pytest.approx(0.01, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_samples(0.5, 0.0)
+        with pytest.raises(ValueError):
+            detectable_relative_bias(0.5, 0)
+
+
+class TestLlr:
+    def test_prefers_true_model(self, rng):
+        alt = np.full(65536, 1 / 65536)
+        alt[0] *= 1.0 + 2.0**-8
+        alt /= alt.sum()
+        null = np.full(65536, 1 / 65536)
+        counts = rng.multinomial(1 << 22, alt)
+        result = llr_model_comparison(counts, alt, null)
+        # Expect the LLR above its null mean; pooled evidence from the
+        # whole table even though per-cell tests would be hopeless here.
+        assert result.z_against_null > 0
+
+    def test_symmetric_under_model_swap(self, rng):
+        alt = np.array([0.3, 0.7])
+        null = np.array([0.5, 0.5])
+        counts = np.array([320, 680])
+        forward = llr_model_comparison(counts, alt, null)
+        backward = llr_model_comparison(counts, null, alt)
+        assert forward.llr == pytest.approx(-backward.llr)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            llr_model_comparison(np.ones(3), np.ones(3), np.full(3, 1 / 3))
+        with pytest.raises(ValueError):
+            llr_model_comparison(np.ones(2), np.array([1.0, 0.0]), np.full(2, 0.5))

@@ -1,0 +1,141 @@
+"""TKIP per-packet key mixing and the S-box construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TkipError
+from repro.tkip import (
+    per_packet_key,
+    phase1,
+    phase2,
+    public_key_bytes,
+    simplified_key_batch,
+    simplified_per_packet_key,
+    tkip_s,
+    tsc_split,
+)
+from repro.tkip.sbox import AES_SBOX, TKIP_SBOX, build_aes_sbox
+
+TA = bytes.fromhex("105fb0e09f60")
+TK = bytes(range(16))
+
+
+class TestSbox:
+    def test_aes_sbox_anchors(self):
+        assert AES_SBOX[0x00] == 0x63
+        assert AES_SBOX[0x01] == 0x7C
+        assert AES_SBOX[0x53] == 0xED
+        assert AES_SBOX[0xFF] == 0x16
+
+    def test_aes_sbox_is_permutation(self):
+        assert sorted(AES_SBOX) == list(range(256))
+
+    def test_tkip_sbox_derivation(self):
+        # SBOX[k] = (2*s << 8) | (3*s) in GF(2^8); anchor from the standard.
+        assert TKIP_SBOX[0] == 0xC6A5
+
+    def test_tkip_s_combines_halves(self):
+        # S(v) = SBOX[lo] ^ swap16(SBOX[hi]); check against manual compute.
+        v = 0xBEEF
+        lo, hi = v & 0xFF, v >> 8
+        expected = TKIP_SBOX[lo] ^ (
+            ((TKIP_SBOX[hi] & 0xFF) << 8) | (TKIP_SBOX[hi] >> 8)
+        )
+        assert tkip_s(v) == expected
+
+    def test_sbox_rebuild_deterministic(self):
+        assert tuple(build_aes_sbox()) == AES_SBOX
+
+
+class TestTscHandling:
+    def test_split(self):
+        assert tsc_split(0x0123456789AB) == (0x01234567, 0x89AB)
+
+    def test_public_bytes_formula(self):
+        k0, k1, k2 = public_key_bytes(0x0123456789AB)
+        tsc1, tsc0 = 0x89, 0xAB
+        assert k0 == tsc1
+        assert k1 == (tsc1 | 0x20) & 0x7F
+        assert k2 == tsc0
+
+    def test_weak_bit_clamp(self):
+        # K1 always has bit 5 set and bit 7 clear - the WEP countermeasure.
+        for tsc in range(0, 1 << 16, 997):
+            _, k1, _ = public_key_bytes(tsc)
+            assert k1 & 0x20
+            assert not k1 & 0x80
+
+    def test_out_of_range(self):
+        with pytest.raises(TkipError):
+            tsc_split(1 << 48)
+
+
+class TestKeyMixing:
+    def test_key_structure(self):
+        key = per_packet_key(TA, TK, 0x0123456789AB)
+        assert len(key) == 16
+        k0, k1, k2 = public_key_bytes(0x0123456789AB)
+        assert key[0] == k0 and key[1] == k1 and key[2] == k2
+
+    def test_deterministic(self):
+        assert per_packet_key(TA, TK, 42) == per_packet_key(TA, TK, 42)
+
+    def test_tsc_sensitivity(self):
+        assert per_packet_key(TA, TK, 1) != per_packet_key(TA, TK, 2)
+
+    def test_tk_sensitivity(self):
+        other_tk = bytes(range(1, 17))
+        assert per_packet_key(TA, TK, 1) != per_packet_key(TA, other_tk, 1)
+
+    def test_ta_sensitivity(self):
+        other_ta = bytes.fromhex("105fb0e09f61")
+        assert per_packet_key(TA, TK, 1) != per_packet_key(other_ta, TK, 1)
+
+    def test_phase1_only_depends_on_upper_tsc(self):
+        iv32_a, _ = tsc_split(0x0001_0000_2222)
+        iv32_b, _ = tsc_split(0x0001_0000_3333)
+        assert iv32_a == iv32_b
+        assert phase1(TK, TA, iv32_a) == phase1(TK, TA, iv32_b)
+
+    def test_phase2_words_in_range(self):
+        ttak = phase1(TK, TA, 0xDEADBEEF)
+        key = phase2(TK, ttak, 0x1234)
+        assert all(0 <= b < 256 for b in key)
+
+    def test_tail_roughly_uniform_across_tsc(self):
+        """The paper's modelling assumption (§2.2): the 13 non-public key
+        bytes behave like uniform random bytes across packets."""
+        tails = np.array(
+            [list(per_packet_key(TA, TK, tsc)[3:]) for tsc in range(2048)]
+        )
+        mean = tails.mean()
+        assert 119.0 < mean < 136.0
+        # Every byte position should take many distinct values.
+        for col in range(13):
+            assert len(np.unique(tails[:, col])) > 200
+
+    def test_validation(self):
+        with pytest.raises(TkipError):
+            per_packet_key(b"short", TK, 1)
+        with pytest.raises(TkipError):
+            per_packet_key(TA, b"short", 1)
+        with pytest.raises(TkipError):
+            per_packet_key(TA, TK, -1)
+
+
+class TestSimplifiedModel:
+    def test_public_prefix(self, rng):
+        key = simplified_per_packet_key(0xABCD, rng)
+        assert (key[0], key[1], key[2]) == public_key_bytes(0xABCD)
+
+    def test_batch_shape_and_prefix(self, rng):
+        keys = simplified_key_batch(0x1234, 64, rng)
+        assert keys.shape == (64, 16)
+        k0, k1, k2 = public_key_bytes(0x1234)
+        assert np.all(keys[:, 0] == k0)
+        assert np.all(keys[:, 1] == k1)
+        assert np.all(keys[:, 2] == k2)
+
+    def test_batch_tails_vary(self, rng):
+        keys = simplified_key_batch(0x1234, 64, rng)
+        assert len(np.unique(keys[:, 3])) > 1

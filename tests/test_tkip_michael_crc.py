@@ -1,0 +1,112 @@
+"""Michael MIC, its inversion, and the CRC-32 ICV."""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MichaelError
+from repro.tkip import Crc32, crc32, icv, michael, michael_header, recover_key
+from repro.tkip.michael import _block, _block_inverse
+
+
+class TestMichaelVectors:
+    """IEEE 802.11 Annex test vectors for Michael."""
+
+    CHAIN = [
+        (bytes(8), b"", "82925c1ca1d130b8"),
+        (bytes.fromhex("82925c1ca1d130b8"), b"M", "434721ca40639b3f"),
+        (bytes.fromhex("434721ca40639b3f"), b"Mi", "e8f9becae97e5d29"),
+        (bytes.fromhex("e8f9becae97e5d29"), b"Mic", "90038fc6cf13c1db"),
+        (bytes.fromhex("90038fc6cf13c1db"), b"Mich", "d55e100510128986"),
+    ]
+
+    @pytest.mark.parametrize("key,msg,expected", CHAIN)
+    def test_chain(self, key, msg, expected):
+        assert michael(key, msg).hex() == expected
+
+
+class TestBlockFunction:
+    @settings(max_examples=50, deadline=None)
+    @given(left=st.integers(0, 2**32 - 1), right=st.integers(0, 2**32 - 1))
+    def test_block_inverse_roundtrip(self, left, right):
+        assert _block_inverse(*_block(left, right)) == (left, right)
+
+    @settings(max_examples=50, deadline=None)
+    @given(left=st.integers(0, 2**32 - 1), right=st.integers(0, 2**32 - 1))
+    def test_inverse_of_inverse(self, left, right):
+        assert _block(*_block_inverse(left, right)) == (left, right)
+
+
+class TestKeyRecovery:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        key=st.binary(min_size=8, max_size=8),
+        message=st.binary(max_size=80),
+    )
+    def test_recover_key_inverts_michael(self, key, message):
+        assert recover_key(message, michael(key, message)) == key
+
+    def test_recovery_with_packet_like_message(self, rng):
+        """The attack scenario: header + MSDU data (paper §5.3)."""
+        key = rng.integers(0, 256, 8, dtype=np.uint8).tobytes()
+        da, sa = bytes(range(6)), bytes(range(6, 12))
+        data = rng.integers(0, 256, 55, dtype=np.uint8).tobytes()
+        message = michael_header(da, sa) + data
+        mic = michael(key, message)
+        assert recover_key(message, mic) == key
+
+    def test_bad_mic_length(self):
+        with pytest.raises(MichaelError):
+            recover_key(b"msg", b"\x00" * 7)
+
+    def test_bad_key_length(self):
+        with pytest.raises(MichaelError):
+            michael(b"\x00" * 7, b"msg")
+
+
+class TestMichaelHeader:
+    def test_layout(self):
+        header = michael_header(bytes(6), bytes(range(6)), priority=5)
+        assert len(header) == 16
+        assert header[12] == 5
+        assert header[13:16] == b"\x00\x00\x00"
+
+    def test_validation(self):
+        with pytest.raises(MichaelError):
+            michael_header(bytes(5), bytes(6))
+        with pytest.raises(MichaelError):
+            michael_header(bytes(6), bytes(6), priority=16)
+
+
+class TestCrc32:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.binary(max_size=300))
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_incremental_equals_oneshot(self):
+        whole = Crc32().update(b"hello world").value
+        split = Crc32().update(b"hello ").update(b"world").value
+        assert whole == split
+
+    def test_copy_forks_state(self):
+        base = Crc32().update(b"prefix-")
+        a = base.copy().update(b"a").value
+        b = base.copy().update(b"b").value
+        assert a != b
+        assert a == crc32(b"prefix-a")
+
+    def test_icv_little_endian(self):
+        data = b"payload"
+        assert icv(data) == zlib.crc32(data).to_bytes(4, "little")
+
+    def test_prefix_extension_trick(self):
+        """The attack precomputes CRC over known data and extends per
+        candidate MIC — must equal the one-shot CRC."""
+        known = b"headers-and-payload"
+        mic = b"12345678"
+        pre = Crc32().update(known)
+        assert pre.copy().update(mic).digest() == icv(known + mic)

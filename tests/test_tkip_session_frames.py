@@ -1,0 +1,181 @@
+"""TKIP frames, session encap/decap, and packet construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PacketError, TkipError
+from repro.tkip import (
+    ICV_LEN,
+    KNOWN_HEADER_LEN,
+    MIC_LEN,
+    TcpPacketSpec,
+    TkipFrame,
+    TkipSession,
+    build_protected_msdu,
+    decode_iv,
+    encode_iv,
+    icv_positions,
+    icv_valid,
+    mic_positions,
+    parse_msdu_data,
+    split_protected_msdu,
+)
+
+TA = bytes.fromhex("105fb0e09f60")
+DA = bytes.fromhex("aabbccddeeff")
+
+
+def _spec(payload=b"ATTACK!"):
+    return TcpPacketSpec(
+        source_ip="192.168.1.101",
+        dest_ip="203.0.113.7",
+        source_port=51324,
+        dest_port=80,
+        payload=payload,
+    )
+
+
+class TestIv:
+    @pytest.mark.parametrize("tsc", [1, 0xFFFF, 0x10000, 0xFFFFFFFFFFFF])
+    def test_roundtrip(self, tsc):
+        assert decode_iv(encode_iv(tsc)) == (tsc, 0)
+
+    def test_key_id_encoding(self):
+        assert decode_iv(encode_iv(7, key_id=2)) == (7, 2)
+
+    def test_weak_seed_byte_present(self):
+        iv = encode_iv(0x1234)
+        assert iv[1] == (iv[0] | 0x20) & 0x7F
+
+    def test_corrupt_seed_rejected(self):
+        iv = bytearray(encode_iv(0x1234))
+        iv[1] ^= 0x01
+        with pytest.raises(PacketError):
+            decode_iv(bytes(iv))
+
+    def test_out_of_range_tsc(self):
+        with pytest.raises(PacketError):
+            encode_iv(1 << 48)
+
+
+class TestFrame:
+    def test_build_parse_roundtrip(self):
+        frame = TkipFrame(
+            ta=TA, da=DA, sa=TA, tsc=0xABCDEF, ciphertext=b"ciphertext-bytes"
+        )
+        parsed = TkipFrame.parse(frame.build(), ta=TA, da=DA, sa=TA)
+        assert parsed.tsc == 0xABCDEF
+        assert parsed.ciphertext == b"ciphertext-bytes"
+
+    def test_bad_mac_length(self):
+        with pytest.raises(PacketError):
+            TkipFrame(ta=b"short", da=DA, sa=TA, tsc=1, ciphertext=b"")
+
+
+class TestPacketLayout:
+    def test_header_length_is_48(self):
+        assert KNOWN_HEADER_LEN == 48
+        assert len(_spec(b"").msdu_data()) == 48
+
+    def test_paper_position_windows(self):
+        """§5.2: without payload MIC+ICV sit at 49..60; with a 7-byte
+        payload at 56..67."""
+        assert list(mic_positions(0)) + list(icv_positions(0)) == list(range(49, 61))
+        assert list(mic_positions(7)) + list(icv_positions(7)) == list(range(56, 68))
+
+    def test_protected_msdu_structure(self, rng):
+        mic_key = rng.integers(0, 256, 8, dtype=np.uint8).tobytes()
+        protected = build_protected_msdu(_spec(), mic_key, DA, TA)
+        assert len(protected) == 48 + 7 + MIC_LEN + ICV_LEN
+        assert icv_valid(protected)
+        data, mic, icv_bytes = split_protected_msdu(protected)
+        assert data == _spec().msdu_data()
+
+    def test_icv_detects_mic_corruption(self, rng):
+        mic_key = rng.integers(0, 256, 8, dtype=np.uint8).tobytes()
+        protected = bytearray(build_protected_msdu(_spec(), mic_key, DA, TA))
+        protected[-6] ^= 0x01  # flip a MIC byte
+        assert not icv_valid(bytes(protected))
+
+    def test_parse_msdu_components(self):
+        llc, ip, tcp, payload = parse_msdu_data(_spec().msdu_data())
+        assert llc.ethertype == 0x0800
+        assert ip.source == "192.168.1.101"
+        assert tcp.dest_port == 80
+        assert payload == b"ATTACK!"
+        assert ip.checksum_valid()
+        assert tcp.checksum_valid("192.168.1.101", "203.0.113.7", payload)
+
+
+class TestSession:
+    def _pair(self, rng):
+        sender = TkipSession.random(rng, TA)
+        receiver = TkipSession(tk=sender.tk, mic_key=sender.mic_key, ta=TA)
+        return sender, receiver
+
+    def test_encap_decap_roundtrip(self, rng):
+        sender, receiver = self._pair(rng)
+        msdu = _spec().msdu_data()
+        frame = sender.encapsulate(msdu, DA, TA)
+        assert receiver.decapsulate(frame) == msdu
+
+    def test_tsc_increments(self, rng):
+        sender, _ = self._pair(rng)
+        msdu = _spec().msdu_data()
+        frames = [sender.encapsulate(msdu, DA, TA) for _ in range(3)]
+        assert [f.tsc for f in frames] == [1, 2, 3]
+
+    def test_identical_plaintext_different_ciphertext(self, rng):
+        """Each TSC gives a fresh per-packet key — the attack's premise."""
+        sender, _ = self._pair(rng)
+        msdu = _spec().msdu_data()
+        a = sender.encapsulate(msdu, DA, TA)
+        b = sender.encapsulate(msdu, DA, TA)
+        assert a.ciphertext != b.ciphertext
+
+    def test_replay_rejected(self, rng):
+        sender, receiver = self._pair(rng)
+        msdu = _spec().msdu_data()
+        frame = sender.encapsulate(msdu, DA, TA)
+        receiver.decapsulate(frame)
+        with pytest.raises(TkipError, match="replay"):
+            receiver.decapsulate(frame)
+
+    def test_tampered_ciphertext_fails_icv(self, rng):
+        sender, receiver = self._pair(rng)
+        frame = sender.encapsulate(_spec().msdu_data(), DA, TA)
+        bad = TkipFrame(
+            ta=frame.ta,
+            da=frame.da,
+            sa=frame.sa,
+            tsc=frame.tsc,
+            ciphertext=frame.ciphertext[:-1]
+            + bytes([frame.ciphertext[-1] ^ 0xFF]),
+        )
+        with pytest.raises(TkipError, match="ICV"):
+            receiver.decapsulate(bad)
+
+    def test_wrong_mic_key_fails_mic(self, rng):
+        sender, _ = self._pair(rng)
+        wrong = TkipSession(
+            tk=sender.tk, mic_key=bytes(8), ta=TA
+        )
+        frame = sender.encapsulate(_spec().msdu_data(), DA, TA)
+        with pytest.raises(TkipError, match="MIC"):
+            wrong.decapsulate(frame)
+
+    def test_forgery_with_recovered_mic_key(self, rng):
+        """§2.2 consequence: MIC key + TK lets the attacker inject."""
+        sender, receiver = self._pair(rng)
+        forger = TkipSession(
+            tk=sender.tk, mic_key=sender.mic_key, ta=TA, tsc=100
+        )
+        forged = forger.encapsulate(b"\xaa" * 60, DA, TA)
+        receiver.replay_window = 50
+        assert receiver.decapsulate(forged) == b"\xaa" * 60
+
+    def test_validation(self, rng):
+        with pytest.raises(TkipError):
+            TkipSession(tk=bytes(8), mic_key=bytes(8), ta=TA)
+        with pytest.raises(TkipError):
+            TkipSession(tk=bytes(16), mic_key=bytes(4), ta=TA)

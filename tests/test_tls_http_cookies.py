@@ -1,0 +1,136 @@
+"""HTTP layout control, cookie jar manipulation, and cookie charsets."""
+
+import pytest
+
+from repro.errors import TlsError
+from repro.tls import (
+    BASE64_CHARSET,
+    COOKIE_CHARSET,
+    CookieJar,
+    HttpRequestTemplate,
+    is_valid_cookie_value,
+    pad_to_alignment,
+    random_cookie,
+)
+
+
+class TestCharset:
+    def test_ninety_characters(self):
+        """RFC 6265 allows at most 90 distinct cookie-octet values —
+        the count the paper's §6.2 restriction uses."""
+        assert len(COOKIE_CHARSET) == 90
+
+    def test_excludes_forbidden_octets(self):
+        for forbidden in b'",;\\ ':
+            assert forbidden not in COOKIE_CHARSET
+
+    def test_includes_common_token_chars(self):
+        for ch in b"AZaz09_-.!#$%&'()*+":
+            assert ch in COOKIE_CHARSET
+
+    def test_base64_subset_of_cookie_charset(self):
+        assert set(BASE64_CHARSET) <= set(COOKIE_CHARSET)
+
+    def test_random_cookie_valid(self, rng):
+        value = random_cookie(rng, 32)
+        assert len(value) == 32
+        assert is_valid_cookie_value(value)
+
+    def test_validation_helpers(self, rng):
+        assert not is_valid_cookie_value(b"has space")
+        with pytest.raises(ValueError):
+            random_cookie(rng, 0)
+
+
+class TestTemplate:
+    def test_prefix_ends_with_cookie_name(self):
+        template = HttpRequestTemplate(host="site.com", cookie_name="auth")
+        assert template.prefix().endswith(b"Cookie: auth=")
+
+    def test_build_layout(self):
+        template = HttpRequestTemplate(
+            host="site.com",
+            injected_cookies=(("injected1", "known1"),),
+        )
+        request = template.build(b"SECRET")
+        assert b"Cookie: auth=SECRET; injected1=known1\r\n\r\n" in request
+
+    def test_cookie_span_consistent_with_build(self):
+        template = HttpRequestTemplate(host="site.com")
+        start, end = template.cookie_span(16)
+        request = template.build(b"C" * 16)
+        assert request[start - 1 : end] == b"C" * 16
+
+    def test_listing3_shape(self):
+        """The manipulated request of the paper's Listing 3: known headers,
+        target cookie first, injected cookies after."""
+        template = HttpRequestTemplate(
+            host="site.com",
+            cookie_name="auth",
+            injected_cookies=(
+                ("injected1", "known1"),
+                ("injected2", "knownplaintext2"),
+            ),
+        )
+        request = template.build(b"X" * 16).decode("ascii")
+        lines = request.split("\r\n")
+        assert lines[0] == "GET / HTTP/1.1"
+        assert lines[1] == "Host: site.com"
+        cookie_line = next(l for l in lines if l.startswith("Cookie:"))
+        assert cookie_line.index("auth=") < cookie_line.index("injected1=")
+        assert cookie_line.index("injected1=") < cookie_line.index("injected2=")
+
+
+class TestAlignment:
+    def test_pad_to_alignment_moves_cookie(self):
+        template = HttpRequestTemplate(host="site.com")
+        padded = pad_to_alignment(template, 16, 70)
+        start, _ = padded.cookie_span(16)
+        assert start % 256 == 70
+
+    def test_noop_when_already_aligned(self):
+        template = HttpRequestTemplate(host="site.com")
+        start, _ = template.cookie_span(16)
+        padded = pad_to_alignment(template, 16, start % 256)
+        assert padded is template
+
+    def test_validation(self):
+        template = HttpRequestTemplate(host="site.com")
+        with pytest.raises(TlsError):
+            pad_to_alignment(template, 16, 256)
+
+
+class TestCookieJar:
+    def _jar(self):
+        jar = CookieJar()
+        jar.set_cookie("tracking", b"t0")
+        jar.set_cookie("auth", b"SECRET", secure=True)
+        jar.set_cookie("prefs", b"p0")
+        return jar
+
+    def test_isolation_pushes_target_to_front(self):
+        jar = self._jar()
+        jar.attacker_isolate("auth")
+        assert jar.cookie_header() == "auth=SECRET"
+
+    def test_injection_appends_after_target(self):
+        jar = self._jar()
+        jar.attacker_isolate("auth")
+        jar.attacker_inject([("injected1", b"known1")])
+        assert jar.cookie_header() == "auth=SECRET; injected1=known1"
+
+    def test_secure_cookie_overwritable_via_http(self):
+        """Secure cookies protect confidentiality, not integrity (§6.1)."""
+        jar = self._jar()
+        jar.set_cookie("auth", b"EVIL")  # plain-HTTP overwrite succeeds
+        assert jar.cookies["auth"] == b"EVIL"
+
+    def test_isolate_missing_target(self):
+        jar = CookieJar()
+        with pytest.raises(TlsError):
+            jar.attacker_isolate("auth")
+
+    def test_remove_absent_cookie_is_noop(self):
+        jar = self._jar()
+        jar.remove_cookie("ghost")
+        assert len(jar.order) == 3

@@ -1,0 +1,174 @@
+"""HMAC, PRF, and the RC4 record layer."""
+
+import hashlib
+import hmac as std_hmac
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TlsError
+from repro.tls import (
+    Rc4RecordLayer,
+    TlsConnection,
+    TlsRecord,
+    derive_keys,
+    hmac_sha1,
+    hmac_sha256,
+    p_hash,
+    prf,
+)
+
+
+class TestHmac:
+    @settings(max_examples=30, deadline=None)
+    @given(key=st.binary(min_size=1, max_size=100), msg=st.binary(max_size=200))
+    def test_sha1_matches_stdlib(self, key, msg):
+        assert hmac_sha1(key, msg) == std_hmac.new(key, msg, hashlib.sha1).digest()
+
+    def test_sha256_matches_stdlib(self):
+        assert hmac_sha256(b"k", b"m") == std_hmac.new(
+            b"k", b"m", hashlib.sha256
+        ).digest()
+
+    def test_long_key_hashed_first(self):
+        key = b"x" * 100  # longer than SHA-1 block size
+        assert hmac_sha1(key, b"m") == std_hmac.new(key, b"m", hashlib.sha1).digest()
+
+    def test_unknown_algorithm(self):
+        from repro.tls.hmac import hmac_digest
+
+        with pytest.raises(ValueError):
+            hmac_digest(b"k", b"m", "nothash")
+
+
+class TestPrf:
+    def test_p_hash_length_exact(self):
+        assert len(p_hash(b"secret", b"seed", 0)) == 0
+        assert len(p_hash(b"secret", b"seed", 33)) == 33
+        assert len(p_hash(b"secret", b"seed", 64)) == 64
+
+    def test_prefix_property(self):
+        long = p_hash(b"s", b"x", 80)
+        short = p_hash(b"s", b"x", 20)
+        assert long[:20] == short
+
+    def test_prf_label_separation(self):
+        assert prf(b"s", b"a", b"seed", 16) != prf(b"s", b"b", b"seed", 16)
+
+    def test_key_derivation_structure(self, rng):
+        master = rng.integers(0, 256, 48, dtype=np.uint8).tobytes()
+        c_rand = rng.integers(0, 256, 32, dtype=np.uint8).tobytes()
+        s_rand = rng.integers(0, 256, 32, dtype=np.uint8).tobytes()
+        keys = derive_keys(master, c_rand, s_rand)
+        assert len(keys.client_mac_key) == 20
+        assert len(keys.server_mac_key) == 20
+        assert len(keys.client_rc4_key) == 16
+        assert len(keys.server_rc4_key) == 16
+        # All four keys distinct.
+        assert len(
+            {
+                keys.client_mac_key,
+                keys.server_mac_key,
+                keys.client_rc4_key,
+                keys.server_rc4_key,
+            }
+        ) == 4
+
+    def test_key_derivation_validation(self):
+        with pytest.raises(TlsError):
+            derive_keys(b"short", bytes(32), bytes(32))
+        with pytest.raises(TlsError):
+            derive_keys(bytes(48), bytes(31), bytes(32))
+
+
+class TestRecordLayer:
+    def _pair(self, rng):
+        rc4_key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+        mac_key = rng.integers(0, 256, 20, dtype=np.uint8).tobytes()
+        return Rc4RecordLayer(rc4_key, mac_key), Rc4RecordLayer(rc4_key, mac_key)
+
+    def test_protect_unprotect_roundtrip(self, rng):
+        tx, rx = self._pair(rng)
+        record = tx.protect(b"hello TLS")
+        assert rx.unprotect(record) == b"hello TLS"
+
+    def test_sequence_numbers_advance(self, rng):
+        tx, rx = self._pair(rng)
+        for i in range(5):
+            assert tx.sequence_number == i
+            rx.unprotect(tx.protect(b"msg"))
+
+    def test_continuous_keystream_across_records(self, rng):
+        """RC4 is never rekeyed: record n+1 continues where n stopped —
+        §2.3, the property the long-term biases need."""
+        from repro.rc4 import rc4_keystream
+
+        rc4_key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+        mac_key = rng.integers(0, 256, 20, dtype=np.uint8).tobytes()
+        tx = Rc4RecordLayer(rc4_key, mac_key)
+        r1 = tx.protect(b"A" * 10)
+        r2 = tx.protect(b"B" * 10)
+        stream = rc4_keystream(rc4_key, 60)
+        combined = r1.fragment + r2.fragment
+        for i, (c, z) in enumerate(zip(combined, stream)):
+            pass  # plaintext varies; just check positions line up via xor
+        # First byte of record 2 must use keystream position 31 (1-indexed).
+        assert r2.fragment[0] == stream[30] ^ ord("B")
+
+    def test_no_initial_keystream_dropped(self, rng):
+        from repro.rc4 import rc4_keystream
+
+        rc4_key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+        mac_key = rng.integers(0, 256, 20, dtype=np.uint8).tobytes()
+        tx = Rc4RecordLayer(rc4_key, mac_key)
+        record = tx.protect(b"\x00\x00\x00\x00")
+        assert record.fragment[:4] == rc4_keystream(rc4_key, 4)
+
+    def test_mac_tampering_detected(self, rng):
+        tx, rx = self._pair(rng)
+        record = tx.protect(b"authentic")
+        bad = TlsRecord(
+            content_type=record.content_type,
+            version=record.version,
+            fragment=record.fragment[:-1]
+            + bytes([record.fragment[-1] ^ 1]),
+        )
+        with pytest.raises(TlsError, match="MAC"):
+            rx.unprotect(bad)
+
+    def test_sequence_desync_detected(self, rng):
+        tx, rx = self._pair(rng)
+        tx.protect(b"skipped")  # receiver never sees this one
+        record = tx.protect(b"next")
+        with pytest.raises(TlsError):
+            rx.unprotect(record)
+
+    def test_record_wire_roundtrip(self, rng):
+        tx, _ = self._pair(rng)
+        record = tx.protect(b"wire")
+        parsed, rest = TlsRecord.parse(record.build() + b"extra")
+        assert parsed.fragment == record.fragment
+        assert rest == b"extra"
+
+    def test_bad_mac_key_length(self, rng):
+        with pytest.raises(TlsError):
+            Rc4RecordLayer(bytes(16), bytes(19))
+
+
+class TestConnection:
+    def test_bidirectional_traffic(self, rng):
+        conn = TlsConnection.handshake(rng)
+        for i in range(4):
+            req = f"GET /{i} HTTP/1.1\r\n\r\n".encode()
+            assert conn.server_receive(conn.client_send(req)) == req
+            resp = f"HTTP/1.1 200 OK #{i}\r\n\r\n".encode()
+            assert conn.client_receive(conn.server_send(resp)) == resp
+
+    def test_keystream_position_tracking(self, rng):
+        conn = TlsConnection.handshake(rng)
+        assert conn.client_keystream_position == 1
+        conn.client_send(b"12345")
+        # 5 payload + 20 MAC bytes consumed.
+        assert conn.client_keystream_position == 26
