@@ -1,0 +1,22 @@
+# Developer entry points for the RC4-biases reproduction.
+#
+# `make verify` is the pre-merge gate: the tier-1 test suite plus a <60 s
+# smoke subset of the benchmark suite, so perf regressions in the
+# statistics pipeline fail fast without running the full bench matrix.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/run_benchmarks.py --smoke
+
+# Full benchmark run; records benchmarks/BENCH_<date>.json.
+bench:
+	$(PYTHON) benchmarks/run_benchmarks.py
+
+verify: test bench-smoke

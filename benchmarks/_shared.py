@@ -1,69 +1,18 @@
 """Shared helpers for the benchmark harness (not a test module).
 
-The heavy lifting is parallel keystream generation with per-chunk
-reduction — the benchmark-layer analogue of the paper's worker cluster.
-Workers are module-level functions so ``multiprocessing`` can pickle
-them.
+Keystream statistics run through the library's dataset engine
+(:func:`repro.datasets.generate_dataset`): fused generate-and-count
+kernels plus shared-memory shard reduction — the same code path the
+library exposes, so benchmark numbers measure what users get.  Only the
+statistics post-processing (z-scores, pooled LLR) lives here.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.config import ReproConfig
-from repro.rc4.batch import BatchRC4
-from repro.rc4.keygen import derive_keys
-
-#: Keys per worker chunk (cache-friendly for the batch generator).
-CHUNK_KEYS = 1 << 13
-
-
-@dataclass(frozen=True)
-class StreamJob:
-    """One worker's share of a keystream-statistics job."""
-
-    config: ReproConfig
-    label: str
-    chunk_index: int
-    num_keys: int
-    stream_len: int
-    drop: int
-
-
-def _digraph_codes(job: StreamJob) -> np.ndarray:
-    """Generate (stream_len, num_keys) int32 digraph codes for one chunk."""
-    keys = derive_keys(job.config, f"{job.label}/{job.chunk_index}", job.num_keys)
-    batch = BatchRC4(keys)
-    if job.drop:
-        batch.skip(job.drop)
-    rows = batch.keystream_rows(job.stream_len + 1)
-    return (rows[:-1].astype(np.int32) << 8) | rows[1:]
-
-
-def _fm_match_worker(args) -> tuple[np.ndarray, np.ndarray]:
-    """Count matches of per-row target digraph codes.
-
-    Args (packed): (job, targets) where targets is int32 (num_rules,
-    stream_len); -1 marks rows where a rule does not apply.
-
-    Returns per-rule (match counts, trials).
-    """
-    job, targets = args
-    codes = _digraph_codes(job)
-    num_rules = targets.shape[0]
-    matches = np.zeros(num_rules, dtype=np.int64)
-    trials = np.zeros(num_rules, dtype=np.int64)
-    for rule in range(num_rules):
-        applicable = targets[rule] >= 0
-        if not applicable.any():
-            continue
-        sub = codes[applicable]
-        matches[rule] = int((sub == targets[rule][applicable][:, None]).sum())
-        trials[rule] = sub.size
-    return matches, trials
+from repro.datasets import DatasetSpec, generate_dataset
 
 
 def parallel_fm_matches(
@@ -76,26 +25,56 @@ def parallel_fm_matches(
     *,
     processes: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Count per-rule digraph matches over ``total_keys`` keystreams."""
-    jobs = []
-    index = 0
-    remaining = total_keys
-    while remaining > 0:
-        take = min(CHUNK_KEYS, remaining)
-        jobs.append(
-            (StreamJob(config, label, index, take, stream_len, drop), targets)
+    """Count per-rule digraph matches over ``total_keys`` keystreams.
+
+    ``targets`` is int32 of shape ``(num_rules, stream_len)``: per rule,
+    the target digraph code ``(first << 8) | second`` for each stream row,
+    with -1 marking rows where the rule does not apply.  Both the target
+    cell and applicability of Fluhrer–McGrew rules depend only on the PRGA
+    counter ``i = (drop + row + 1) mod 256``, so the counts are read off
+    the engine's counter-binned long-term dataset: ``matches[rule] =
+    sum_i counts[i, first_i, second_i]`` over the rule's applicable ``i``
+    values.
+
+    Returns per-rule (match counts, trials).
+    """
+    num_rules, target_len = targets.shape
+    if target_len != stream_len:
+        raise ValueError(
+            f"targets cover {target_len} rows, expected stream_len={stream_len}"
         )
-        remaining -= take
-        index += 1
-    if processes is None:
-        processes = min(mp.cpu_count(), len(jobs))
-    if processes <= 1 or len(jobs) == 1:
-        results = [_fm_match_worker(job) for job in jobs]
-    else:
-        with mp.get_context("fork").Pool(processes) as pool:
-            results = pool.map(_fm_match_worker, jobs)
-    matches = sum(m for m, _ in results)
-    trials = sum(t for _, t in results)
+    spec = DatasetSpec(
+        kind="longterm",
+        num_keys=total_keys,
+        stream_len=stream_len,
+        drop=drop,
+        gap=0,
+        label=label,
+    )
+    counts = generate_dataset(spec, config, processes=processes)
+
+    i_of_row = (drop + np.arange(stream_len) + 1) % 256
+    matches = np.zeros(num_rules, dtype=np.int64)
+    trials = np.zeros(num_rules, dtype=np.int64)
+    for rule in range(num_rules):
+        applicable = targets[rule] >= 0
+        trials[rule] = int(applicable.sum()) * total_keys
+        for i in np.unique(i_of_row[applicable]):
+            rows_i = applicable & (i_of_row == i)
+            if int(rows_i.sum()) != int((i_of_row == i).sum()):
+                raise ValueError(
+                    f"rule {rule} applies to only some rows with counter "
+                    f"i={i}; per-counter aggregation needs i-determined rules"
+                )
+            codes = np.unique(targets[rule][rows_i])
+            if codes.size != 1:
+                raise ValueError(
+                    f"rule {rule} has inconsistent targets for counter i={i}"
+                )
+            code = int(codes[0])
+            # counts[i] aggregates every stream row with this counter
+            # value, which is exactly the rule's applicable-row set.
+            matches[rule] += int(counts[i, code >> 8, code & 0xFF])
     return matches, trials
 
 

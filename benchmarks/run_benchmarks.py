@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Run the perf-critical benchmark subset and record machine-readable rates.
+
+Writes ``BENCH_<date>[_<label>].json`` next to this script: keys/sec for
+``batch_keystream``, counts/sec per counting kernel, and end-to-end
+dataset wall-clocks.  Committing these files gives the repo a perf
+trajectory — every optimisation PR records a before/after pair on the
+same machine (the single-machine analogue of the paper's cluster budget
+in §3.2).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--label post]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --smoke  # <60 s gate
+
+``--smoke`` runs a fast subset with reduced calibration and skips the
+JSON recording unless ``--out`` is given; it exists for ``make verify``
+so perf regressions fail fast without the full bench matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+#: Benchmark files whose results feed the BENCH json.
+BENCH_FILES = ["test_core_throughput.py", "test_dataset_pipeline.py"]
+
+#: -k expression selecting the <60 s smoke subset.
+SMOKE_FILTER = (
+    "batch_rc4_throughput or single_byte_kernel or longterm_dataset_wallclock"
+)
+
+
+def _run_pytest(json_path: Path, *, smoke: bool) -> int:
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *[str(BENCH_DIR / name) for name in BENCH_FILES],
+        "-q",
+        "--benchmark-json",
+        str(json_path),
+        "--benchmark-warmup=off",
+    ]
+    if smoke:
+        cmd += ["-k", SMOKE_FILTER, "--benchmark-max-time=0.5"]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.call(cmd, cwd=str(REPO_ROOT), env=env)
+
+
+def _native_backend_status() -> bool:
+    try:
+        from repro.rc4 import _native
+
+        return _native.available()
+    except Exception:
+        return False
+
+
+def _distill(raw: dict, label: str) -> dict:
+    import numpy
+
+    results = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"]
+        stats = bench["stats"]
+        extra = bench.get("extra_info", {}) or {}
+        entry = {
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+        if "keys" in extra:
+            entry["keys"] = extra["keys"]
+            entry["keys_per_s"] = extra["keys"] / stats["mean"]
+        if "counts" in extra:
+            entry["counts"] = extra["counts"]
+            entry["counts_per_s"] = extra["counts"] / stats["mean"]
+        results[name] = entry
+    return {
+        "label": label,
+        "date": _dt.date.today().isoformat(),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "native_backend": _native_backend_status(),
+        "benchmarks": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--label",
+        default="",
+        help="suffix for the output file, e.g. 'pre' -> BENCH_<date>_pre.json",
+    )
+    parser.add_argument(
+        "--out", default="", help="explicit output path (overrides --label)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast subset with reduced calibration; no JSON unless --out",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench.json"
+        rc = _run_pytest(raw_path, smoke=args.smoke)
+        if rc != 0:
+            print(f"benchmark run failed (pytest exit {rc})", file=sys.stderr)
+            return rc
+        raw = json.loads(raw_path.read_text())
+
+    if args.smoke and not args.out:
+        print("smoke run ok (no BENCH json recorded)")
+        return 0
+
+    record = _distill(raw, args.label or ("smoke" if args.smoke else "full"))
+    if args.out:
+        out_path = Path(args.out)
+    else:
+        suffix = f"_{args.label}" if args.label else ""
+        out_path = BENCH_DIR / f"BENCH_{record['date']}{suffix}.json"
+    out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    for name, entry in sorted(record["benchmarks"].items()):
+        rate = entry.get("keys_per_s")
+        rate_txt = f"  {rate:,.0f} keys/s" if rate else ""
+        print(f"  {name}: {entry['mean_s'] * 1e3:.2f} ms{rate_txt}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ def rng():
 def test_batch_rc4_throughput(benchmark, rng):
     """Keys/second for 64-byte keystreams (the statistics workhorse)."""
     keys = rng.integers(0, 256, size=(1 << 13, 16), dtype=np.uint8)
+    benchmark.extra_info["keys"] = 1 << 13
     result = benchmark(lambda: batch_keystream(keys, 64))
     assert result.shape == (1 << 13, 64)
 

@@ -10,9 +10,12 @@ The paper generated three main datasets on a distributed cluster:
   dropping 1023 initial bytes (2**12 keys x 2**40 bytes, ~8 CPU-years).
 
 This package reimplements the counting semantics exactly — per-worker
-partial counters merged into a dataset — with numpy kernels and a
-``multiprocessing`` pool substituting for the paper's 80-machine setup.
-Sample counts scale with :class:`repro.config.ReproConfig`.
+partial counters merged into a dataset — with fused generate-and-count
+kernels (numpy, or compiled C when available) and a ``multiprocessing``
+pool reducing into shared-memory counters, substituting for the paper's
+80-machine setup.  Sample counts scale with
+:class:`repro.config.ReproConfig`; see ROADMAP.md "Performance
+architecture" for the measured throughput of each layer.
 """
 
 from .generate import (

@@ -1,21 +1,61 @@
 """Counting kernels over batches of RC4 keystreams (paper §3.2).
 
-Each kernel consumes a ``(length, n)`` keystream block (the row-major
-output of :meth:`repro.rc4.batch.BatchRC4.keystream_rows`) and updates
-int64 counters.  Like the paper's workers we accumulate into per-chunk
-counters and merge afterwards; unlike the paper we can afford int64
-everywhere (their 16-bit counters were a cache optimisation at 2**30
-keystreams per worker).
+Each kernel derives counts straight from a key batch and updates int64
+counters.  Like the paper's workers we accumulate into per-chunk counters
+and merge afterwards; unlike the paper we can afford int64 everywhere
+(their 16-bit counters were a cache optimisation at 2**30 keystreams per
+worker).
+
+Two implementations sit behind every kernel:
+
+- When the compiled backend (:mod:`repro.rc4._native`) is available, the
+  kernels are *fused generate-and-count*: each key's keystream is
+  produced and counted in one C loop with the 256-byte state in L1 —
+  no keystream block is ever materialised.
+- The pure-numpy fallback streams overlapping windows out of
+  :meth:`repro.rc4.batch.BatchRC4.stream_blocks` (one reused buffer, so
+  long-term jobs never hold a ``(stream_len, n)`` block) and replaces the
+  old per-position ``np.bincount`` loops with grouped flat bincounts over
+  combined ``position * width + code`` values — O(positions / group)
+  numpy dispatches instead of O(positions), with group sizes chosen so
+  codes + bins stay cache-resident.
+
+Both paths are bit-exact with :mod:`repro.rc4.reference`; see
+tests/test_dataset_equivalence.py.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..rc4 import _native
 from ..rc4.batch import BatchRC4
+
+#: Keystream rows per fused single-byte bincount group (bins = 64 * 256).
+SINGLE_GROUP = 64
+
+#: Digraph positions per fused bincount group (bins = 8 * 65536 int64
+#: = 4 MiB, still cache-friendly next to the (group, n) int32 codes).
+DIGRAPH_GROUP = 8
+
+
+def _contiguous_target(out: np.ndarray) -> np.ndarray:
+    """Staging counter for caller-provided ``out`` buffers.
+
+    Every counting path accumulates through a flat C-contiguous view (or
+    hands the buffer to C); on a non-contiguous ``out`` a plain
+    ``reshape`` would silently count into a copy.  Callers add the
+    staging array back into ``out`` when it differs.
+    """
+    if out.flags.c_contiguous:
+        return out
+    return np.zeros(out.shape, dtype=out.dtype)
 
 
 def _keystream_block(keys: np.ndarray, length: int, *, drop: int = 0) -> np.ndarray:
+    """Full ``(length, n)`` keystream block (pair/equality kernels only)."""
+    if _native.available():
+        return np.ascontiguousarray(_native.batch_keystream(keys, length, drop=drop).T)
     batch = BatchRC4(keys)
     if drop:
         batch.skip(drop)
@@ -30,12 +70,69 @@ def single_byte_counts(
     Returns (or accumulates into ``out``) an int64 array of shape
     ``(positions, 256)``.
     """
-    rows = _keystream_block(keys, positions)
+    keys = np.ascontiguousarray(keys, dtype=np.uint8)
     if out is None:
         out = np.zeros((positions, 256), dtype=np.int64)
-    for r in range(positions):
-        out[r] += np.bincount(rows[r], minlength=256)
+    target = _contiguous_target(out)
+    if _native.available():
+        _native.count_single(keys, positions, target)
+    else:
+        flat = target.reshape(-1)
+        n = keys.shape[0]
+        codes = np.empty((SINGLE_GROUP, n), dtype=np.int32)
+        offsets = (np.arange(SINGLE_GROUP, dtype=np.int32) * 256)[:, None]
+        for start, view in BatchRC4(keys).stream_blocks(
+            positions, block=SINGLE_GROUP
+        ):
+            g = view.shape[0]
+            np.add(view, offsets[:g], out=codes[:g], casting="unsafe")
+            flat[start * 256 : (start + g) * 256] += np.bincount(
+                codes[:g].reshape(-1), minlength=g * 256
+            )
+    if target is not out:
+        out += target
     return out
+
+
+def _streamed_digraph_counts(
+    keys: np.ndarray,
+    positions: int,
+    *,
+    drop: int,
+    gap: int,
+    flat_out: np.ndarray,
+    row_offset_codes: np.ndarray,
+) -> None:
+    """Numpy fallback shared by the consec and long-term kernels.
+
+    Streams windows from one reused buffer and performs one flat bincount
+    per group of digraph positions, with ``row_offset_codes[r]`` giving
+    the counter-row offset (``row * 65536`` for consec, ``i_of_row *
+    65536`` for long-term) added to each digraph code.  For long-term the
+    offsets are non-contiguous, so groups accumulate via a 65536-aligned
+    scatter-add into ``flat_out``.
+    """
+    n = keys.shape[0]
+    span = 1 + gap
+    batch = BatchRC4(keys)
+    if drop:
+        batch.skip(drop)
+    # Wide gaps need windows at least span rows deep to carry the pairs.
+    group = max(DIGRAPH_GROUP, span)
+    codes = np.empty((group, n), dtype=np.int32)
+    for start, view in batch.stream_blocks(
+        positions + span, block=group, overlap=span
+    ):
+        g = view.shape[0] - span
+        np.multiply(view[:g], 256, out=codes[:g], dtype=np.int32, casting="unsafe")
+        codes[:g] |= view[span : span + g]
+        local = (np.arange(g, dtype=np.int32) * 65536)[:, None]
+        codes[:g] += local
+        counts = np.bincount(codes[:g].reshape(-1), minlength=g * 65536)
+        counts = counts.reshape(g, 65536)
+        offsets = row_offset_codes[start : start + g]
+        for idx in range(g):
+            flat_out[offsets[idx] : offsets[idx] + 65536] += counts[idx]
 
 
 def consec_digraph_counts(
@@ -47,13 +144,24 @@ def consec_digraph_counts(
     shape ``(positions, 256, 256)``.  Note the memory cost: 512 positions
     need 512*65536*8 = 256 MiB; callers choose smaller ranges by default.
     """
-    rows = _keystream_block(keys, positions + 1)
+    keys = np.ascontiguousarray(keys, dtype=np.uint8)
     if out is None:
         out = np.zeros((positions, 256, 256), dtype=np.int64)
-    flat = out.reshape(positions, 65536)
-    for r in range(positions):
-        pair = (rows[r].astype(np.int32) << 8) | rows[r + 1]
-        flat[r] += np.bincount(pair, minlength=65536)
+    target = _contiguous_target(out)
+    if _native.available():
+        _native.count_digraph(keys, positions, target)
+    else:
+        row_offsets = np.arange(positions, dtype=np.int64) * 65536
+        _streamed_digraph_counts(
+            keys,
+            positions,
+            drop=0,
+            gap=0,
+            flat_out=target.reshape(-1),
+            row_offset_codes=row_offsets,
+        )
+    if target is not out:
+        out += target
     return out
 
 
@@ -63,7 +171,7 @@ def pair_counts(
     *,
     out: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Count joint values of arbitrary position pairs (a, b) with a < b.
+    """Count joint values of arbitrary position pairs (a, b) with a != b.
 
     This is the ``first16`` dataset shape restricted to requested pairs:
     an int64 array of shape ``(len(pairs), 256, 256)``.
@@ -77,10 +185,13 @@ def pair_counts(
     rows = _keystream_block(keys, length)
     if out is None:
         out = np.zeros((len(pairs), 256, 256), dtype=np.int64)
-    flat = out.reshape(len(pairs), 65536)
+    target = _contiguous_target(out)
+    flat = target.reshape(len(pairs), 65536)
     for idx, (a, b) in enumerate(pairs):
         pair = (rows[a - 1].astype(np.int32) << 8) | rows[b - 1]
         flat[idx] += np.bincount(pair, minlength=65536)
+    if target is not out:
+        out += target
     return out
 
 
@@ -97,6 +208,9 @@ def equality_counts(
     """
     if not pairs:
         raise ValueError("pairs must be non-empty")
+    for a, b in pairs:
+        if a < 1 or b < 1 or a == b:
+            raise ValueError(f"invalid position pair ({a}, {b})")
     length = max(max(a, b) for a, b in pairs)
     rows = _keystream_block(keys, length)
     n = keys.shape[0]
@@ -134,17 +248,29 @@ def longterm_digraph_counts(
     Returns:
         int64 array of shape ``(256, 256, 256)``.
     """
+    if drop < 0:
+        raise ValueError(f"drop must be non-negative, got {drop}")
+    if not 0 <= gap <= 255:
+        raise ValueError(f"gap must be 0..255, got {gap}")
+    keys = np.ascontiguousarray(keys, dtype=np.uint8)
     if out is None:
         out = np.zeros((256, 256, 256), dtype=np.int64)
-    flat = out.reshape(256, 65536)
-    batch = BatchRC4(keys)
-    if drop:
-        batch.skip(drop)
-    rows = batch.keystream_rows(stream_len + 1 + gap)
-    # Position r (1-indexed within this block) sits at absolute position
-    # drop + r, so the PRGA counter for its output is (drop + r) mod 256.
-    for r in range(stream_len):
-        i = (drop + r + 1) % 256
-        pair = (rows[r].astype(np.int32) << 8) | rows[r + 1 + gap]
-        flat[i] += np.bincount(pair, minlength=65536)
+    target = _contiguous_target(out)
+    if _native.available():
+        _native.count_longterm(keys, stream_len, drop, gap, target)
+    else:
+        # Position r (1-indexed within this block) sits at absolute
+        # position drop + r, so the PRGA counter for its output is
+        # (drop + r) mod 256.
+        i_of_row = (drop + np.arange(stream_len, dtype=np.int64) + 1) % 256
+        _streamed_digraph_counts(
+            keys,
+            stream_len,
+            drop=drop,
+            gap=gap,
+            flat_out=target.reshape(-1),
+            row_offset_codes=i_of_row * 65536,
+        )
+    if target is not out:
+        out += target
     return out

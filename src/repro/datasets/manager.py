@@ -4,17 +4,30 @@ The paper used ~80 desktop machines plus three servers, each worker
 generating at most 2**30 keystreams before its partial counters were
 merged.  This module is the single-machine analogue: a
 ``multiprocessing`` pool of workers, each deriving its own independent
-key stream from a child seed, counting into private int64 arrays, and a
-merge step summing the shards.
+key stream from a child seed and counting with the fused kernels in
+:mod:`repro.datasets.generate`.
+
+Reduction is zero-copy: every worker process accumulates into one
+``multiprocessing.shared_memory`` int64 counter block (created by the
+parent, inherited through ``fork``), and the merge step sums the
+``processes`` blocks in place.  Nothing round-trips through pickle — the
+previous design returned one full counter per shard through ``pool.map``,
+which for ``consec``/``longterm`` jobs meant serialising 128–256 MiB of
+int64 per shard and capped the shard count at 32 to bound that cost.
+With shared-memory reduction the shard list is simply one shard per
+cache-sized key chunk (load-balanced across workers by the pool queue),
+so parallelism scales with ``cpu_count`` and shard sizing stays
+workload-derived and deterministic.
 
 Workers are plain module-level functions (picklable) parameterised by a
-:class:`DatasetSpec`; the kernels live in :mod:`repro.datasets.generate`.
+:class:`DatasetSpec`; fork inheritance carries the shared counter views.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from typing import Literal
 
 import numpy as np
@@ -27,7 +40,8 @@ from . import generate as kernels
 KindName = Literal["single", "consec", "pairs", "equality", "longterm"]
 
 #: Keys processed per kernel invocation inside one worker; sized so the
-#: batch RC4 state stays cache-resident.
+#: batch RC4 state stays cache-resident.  Also the default shard size —
+#: one pool task per chunk keeps workers load-balanced.
 WORKER_CHUNK = 1 << 14
 
 
@@ -69,38 +83,22 @@ class DatasetSpec:
             raise DatasetError("longterm dataset needs stream_len > 0")
 
 
-def _run_shard(args: tuple[DatasetSpec, ReproConfig, int, int]) -> np.ndarray:
-    """Worker entry point: count ``shard_keys`` keystreams for one shard."""
-    spec, config, shard_index, shard_keys = args
-    out = _empty_counters(spec)
-    remaining = shard_keys
-    part = 0
-    while remaining > 0:
-        take = min(WORKER_CHUNK, remaining)
-        keys = derive_keys(
-            config,
-            f"{spec.label}/shard{shard_index}/part{part}",
-            take,
-            keylen=spec.keylen,
-        )
-        _accumulate(spec, keys, out)
-        remaining -= take
-        part += 1
-    return out
+def _counter_shape(spec: DatasetSpec) -> tuple[int, ...]:
+    if spec.kind == "single":
+        return (spec.positions, 256)
+    if spec.kind == "consec":
+        return (spec.positions, 256, 256)
+    if spec.kind == "pairs":
+        return (len(spec.pairs), 256, 256)
+    if spec.kind == "equality":
+        return (len(spec.pairs), 2)
+    if spec.kind == "longterm":
+        return (256, 256, 256)
+    raise DatasetError(f"unknown dataset kind {spec.kind!r}")
 
 
 def _empty_counters(spec: DatasetSpec) -> np.ndarray:
-    if spec.kind == "single":
-        return np.zeros((spec.positions, 256), dtype=np.int64)
-    if spec.kind == "consec":
-        return np.zeros((spec.positions, 256, 256), dtype=np.int64)
-    if spec.kind == "pairs":
-        return np.zeros((len(spec.pairs), 256, 256), dtype=np.int64)
-    if spec.kind == "equality":
-        return np.zeros((len(spec.pairs), 2), dtype=np.int64)
-    if spec.kind == "longterm":
-        return np.zeros((256, 256, 256), dtype=np.int64)
-    raise DatasetError(f"unknown dataset kind {spec.kind!r}")
+    return np.zeros(_counter_shape(spec), dtype=np.int64)
 
 
 def _accumulate(spec: DatasetSpec, keys: np.ndarray, out: np.ndarray) -> None:
@@ -120,6 +118,59 @@ def _accumulate(spec: DatasetSpec, keys: np.ndarray, out: np.ndarray) -> None:
         raise DatasetError(f"unknown dataset kind {spec.kind!r}")
 
 
+def _count_shard(
+    spec: DatasetSpec,
+    config: ReproConfig,
+    shard_index: int,
+    shard_keys: int,
+    worker_chunk: int,
+    out: np.ndarray,
+) -> None:
+    """Count ``shard_keys`` keystreams of one shard into ``out``."""
+    remaining = shard_keys
+    part = 0
+    while remaining > 0:
+        take = min(worker_chunk, remaining)
+        keys = derive_keys(
+            config,
+            f"{spec.label}/shard{shard_index}/part{part}",
+            take,
+            keylen=spec.keylen,
+        )
+        _accumulate(spec, keys, out)
+        remaining -= take
+        part += 1
+
+
+# --- shared-memory pool plumbing -------------------------------------------
+#
+# The parent creates one shared counter block per pool process and
+# publishes the numpy views in _POOL_COUNTERS *before* forking, so the
+# children inherit them without any serialisation.  Each worker claims a
+# distinct slot index in its initializer and accumulates every shard it
+# is handed into its own block — no locks needed, summation happens once
+# in the parent.
+
+_POOL_COUNTERS: list[np.ndarray] | None = None
+_WORKER_SLOT: int | None = None
+
+
+def _claim_slot(slot_counter) -> None:
+    global _WORKER_SLOT
+    with slot_counter.get_lock():
+        _WORKER_SLOT = slot_counter.value
+        slot_counter.value += 1
+
+
+def _run_shard_shm(args: tuple[DatasetSpec, ReproConfig, int, int, int]) -> int:
+    """Pool worker: count one shard into this process's shared counter."""
+    spec, config, shard_index, shard_keys, worker_chunk = args
+    assert _POOL_COUNTERS is not None and _WORKER_SLOT is not None
+    out = _POOL_COUNTERS[_WORKER_SLOT]
+    _count_shard(spec, config, shard_index, shard_keys, worker_chunk, out)
+    return shard_keys
+
+
 def merge_counts(shards: list[np.ndarray]) -> np.ndarray:
     """Merge per-worker counters (the paper's combine step)."""
     if not shards:
@@ -134,11 +185,62 @@ def merge_counts(shards: list[np.ndarray]) -> np.ndarray:
     return total
 
 
+def _generate_pooled(
+    spec: DatasetSpec,
+    shard_args: list[tuple[DatasetSpec, ReproConfig, int, int, int]],
+    processes: int,
+) -> np.ndarray:
+    """Run the shard list on a fork pool with shared-memory reduction."""
+    global _POOL_COUNTERS
+    shape = _counter_shape(spec)
+    nbytes = int(np.prod(shape)) * np.dtype(np.int64).itemsize
+    # Each worker owns a full counter block; cap the aggregate at ~4 GiB
+    # so wide machines don't exhaust /dev/shm on 128 MiB longterm counters.
+    processes = max(1, min(processes, (4 << 30) // max(nbytes, 1)))
+    if processes == 1:
+        total = _empty_counters(spec)
+        for args in shard_args:
+            _count_shard(spec, args[1], args[2], args[3], args[4], total)
+        return total
+    ctx = mp.get_context("fork")
+    blocks = [
+        shared_memory.SharedMemory(create=True, size=nbytes)
+        for _ in range(processes)
+    ]
+    try:
+        # POSIX shared memory is zero-initialised on creation.
+        _POOL_COUNTERS = [
+            np.ndarray(shape, dtype=np.int64, buffer=block.buf)
+            for block in blocks
+        ]
+        slot_counter = ctx.Value("i", 0)
+        with ctx.Pool(
+            processes, initializer=_claim_slot, initargs=(slot_counter,)
+        ) as pool:
+            counted = pool.map(_run_shard_shm, shard_args)
+        if sum(counted) != spec.num_keys:
+            raise DatasetError(
+                f"workers counted {sum(counted)} keys, expected {spec.num_keys}"
+            )
+        total = _POOL_COUNTERS[0].copy()
+        for counters in _POOL_COUNTERS[1:]:
+            total += counters
+        return total
+    finally:
+        # Drop the numpy views before closing, else the exported buffers
+        # keep the mappings alive and close() raises BufferError.
+        _POOL_COUNTERS = None
+        for block in blocks:
+            block.close()
+            block.unlink()
+
+
 def generate_dataset(
     spec: DatasetSpec,
     config: ReproConfig,
     *,
     processes: int | None = None,
+    worker_chunk: int = WORKER_CHUNK,
 ) -> np.ndarray:
     """Generate a dataset, optionally in parallel.
 
@@ -149,21 +251,31 @@ def generate_dataset(
         processes: worker processes; None = ``min(cpu, shards)``,
             1 = run inline (no pool — used by tests for determinism of
             coverage tools).
+        worker_chunk: keys per shard / kernel invocation.  The default
+            keeps the batch RC4 state cache-resident; tests shrink it to
+            exercise the multi-shard reduction cheaply.  The value
+            participates in key derivation (shard labels), so inline and
+            pooled runs agree only when it matches.
     """
     spec.validate()
-    num_shards = max(1, min(32, spec.num_keys // WORKER_CHUNK))
+    if worker_chunk < 1:
+        raise DatasetError(f"worker_chunk must be positive, got {worker_chunk}")
+    # One shard per cache-sized chunk: shard sizing is workload-derived
+    # (deterministic for a given num_keys), parallelism is process-derived.
+    num_shards = max(1, -(-spec.num_keys // worker_chunk))
     base, extra = divmod(spec.num_keys, num_shards)
     shard_sizes = [base + (1 if s < extra else 0) for s in range(num_shards)]
     shard_args = [
-        (spec, config, index, size)
+        (spec, config, index, size, worker_chunk)
         for index, size in enumerate(shard_sizes)
         if size > 0
     ]
     if processes is None:
-        processes = min(mp.cpu_count(), len(shard_args))
-    if processes <= 1 or len(shard_args) == 1:
-        shards = [_run_shard(args) for args in shard_args]
-    else:
-        with mp.get_context("fork").Pool(processes) as pool:
-            shards = pool.map(_run_shard, shard_args)
-    return merge_counts(shards)
+        processes = mp.cpu_count()
+    processes = min(processes, len(shard_args))
+    if processes <= 1:
+        total = _empty_counters(spec)
+        for args in shard_args:
+            _count_shard(spec, config, args[2], args[3], worker_chunk, total)
+        return total
+    return _generate_pooled(spec, shard_args, processes)

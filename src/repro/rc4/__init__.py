@@ -9,8 +9,15 @@ Two implementations are provided and cross-tested against each other:
   instances in lock-step, one vectorised operation per PRGA round.  Used
   to regenerate keystream statistics at the largest scale this
   reproduction can afford (paper §3.2 used a distributed C setup).
+
+A third, optional layer — :mod:`repro.rc4._native`, per-key C compiled
+on demand with the system compiler — transparently accelerates
+:func:`batch_keystream` and the dataset counting kernels when a C
+compiler is available (``native_status()`` reports the backend state;
+``REPRO_NATIVE=0`` disables it).  All layers are bit-exact.
 """
 
+from ._native import status as native_status
 from .batch import BatchRC4, batch_keystream
 from .keygen import KeystreamKeySource, derive_keys
 from .reference import RC4, ksa, prga, rc4_crypt, rc4_keystream
@@ -24,6 +31,7 @@ __all__ = [
     "batch_keystream",
     "derive_keys",
     "ksa",
+    "native_status",
     "prga",
     "rc4_crypt",
     "rc4_keystream",

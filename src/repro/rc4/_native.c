@@ -1,0 +1,136 @@
+/* Native RC4 statistics kernels (compiled on demand by _native.py).
+ *
+ * The numpy batch generator in batch.py pays ~10 array dispatches per
+ * PRGA round; at 256 KSA rounds + 1023 drop rounds per long-term chunk
+ * that overhead dominates the whole statistics pipeline.  Here each key
+ * is run start-to-finish with its 256-byte state in L1, which is the
+ * same layout the paper's C workers used (§3.2).
+ *
+ * Everything is bit-exact with repro.rc4.reference; the Python side
+ * cross-checks this in tests/test_dataset_equivalence.py.
+ *
+ * Build contract (see _native.py): plain C99, no includes beyond the
+ * two below, compiled with `cc -O3 -shared -fPIC`.
+ */
+
+#include <stddef.h>
+#include <stdint.h>
+
+static void rc4_init(uint8_t *S, const uint8_t *key, ptrdiff_t keylen)
+{
+    int k;
+    uint8_t j = 0, tmp;
+    for (k = 0; k < 256; k++)
+        S[k] = (uint8_t)k;
+    for (k = 0; k < 256; k++) {
+        j = (uint8_t)(j + S[k] + key[k % keylen]);
+        tmp = S[k];
+        S[k] = S[j];
+        S[j] = tmp;
+    }
+}
+
+#define RC4_STEP(S, i, j, tmp)                                               \
+    do {                                                                     \
+        (i) = (uint8_t)((i) + 1);                                            \
+        (j) = (uint8_t)((j) + (S)[(i)]);                                     \
+        (tmp) = (S)[(i)];                                                    \
+        (S)[(i)] = (S)[(j)];                                                 \
+        (S)[(j)] = (tmp);                                                    \
+    } while (0)
+
+#define RC4_OUT(S, i, j) ((S)[(uint8_t)((S)[(i)] + (S)[(j)])])
+
+/* Generate `length` keystream bytes per key into `out` (n x length,
+ * row-major: out[k*length + r] = Z_{r+1} of key k), after discarding
+ * `drop` initial bytes. */
+void rc4_batch_keystream(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
+                         long drop, long length, uint8_t *out)
+{
+    ptrdiff_t k;
+    long r;
+    for (k = 0; k < n; k++) {
+        uint8_t S[256];
+        uint8_t i = 0, j = 0, tmp;
+        uint8_t *dst = out + k * length;
+        rc4_init(S, keys + k * keylen, keylen);
+        for (r = 0; r < drop; r++)
+            RC4_STEP(S, i, j, tmp);
+        for (r = 0; r < length; r++) {
+            RC4_STEP(S, i, j, tmp);
+            dst[r] = RC4_OUT(S, i, j);
+        }
+    }
+}
+
+/* Single-byte counts: out[r*256 + Z_{r+1}] += 1 for r = 0..positions-1. */
+void rc4_count_single(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
+                      long positions, int64_t *out)
+{
+    ptrdiff_t k;
+    long r;
+    for (k = 0; k < n; k++) {
+        uint8_t S[256];
+        uint8_t i = 0, j = 0, tmp;
+        rc4_init(S, keys + k * keylen, keylen);
+        for (r = 0; r < positions; r++) {
+            RC4_STEP(S, i, j, tmp);
+            out[r * 256 + RC4_OUT(S, i, j)] += 1;
+        }
+    }
+}
+
+/* Consecutive digraphs: out[r*65536 + Z_{r+1}*256 + Z_{r+2}] += 1 for
+ * r = 0..positions-1 (needs positions+1 keystream bytes per key). */
+void rc4_count_digraph(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
+                       long positions, int64_t *out)
+{
+    ptrdiff_t k;
+    long r;
+    for (k = 0; k < n; k++) {
+        uint8_t S[256];
+        uint8_t i = 0, j = 0, tmp, prev, z;
+        rc4_init(S, keys + k * keylen, keylen);
+        RC4_STEP(S, i, j, tmp);
+        prev = RC4_OUT(S, i, j);
+        for (r = 0; r < positions; r++) {
+            RC4_STEP(S, i, j, tmp);
+            z = RC4_OUT(S, i, j);
+            out[r * 65536 + (ptrdiff_t)prev * 256 + z] += 1;
+            prev = z;
+        }
+    }
+}
+
+/* Long-term digraphs binned by the PRGA counter (§3.4):
+ * out[i*65536 + Z_r*256 + Z_{r+1+gap}] += 1 where i = (drop+r+1) mod 256
+ * and r = 1..stream_len (1-indexed past the dropped prefix).  A rolling
+ * window of gap+1 bytes supplies the first element of each pair. */
+void rc4_count_longterm(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
+                        long stream_len, long drop, long gap, int64_t *out)
+{
+    ptrdiff_t k;
+    long r;
+    long width = gap + 1;
+    for (k = 0; k < n; k++) {
+        uint8_t S[256];
+        uint8_t window[256]; /* gap is validated <= 255 on the Python side */
+        uint8_t i = 0, j = 0, tmp, z, first;
+        uint8_t bin = (uint8_t)(drop & 0xFF);
+        rc4_init(S, keys + k * keylen, keylen);
+        for (r = 0; r < drop; r++)
+            RC4_STEP(S, i, j, tmp);
+        for (r = 0; r < width; r++) {
+            RC4_STEP(S, i, j, tmp);
+            window[r] = RC4_OUT(S, i, j);
+        }
+        for (r = 0; r < stream_len; r++) {
+            RC4_STEP(S, i, j, tmp);
+            z = RC4_OUT(S, i, j);
+            first = window[r % width];
+            window[r % width] = z;
+            bin = (uint8_t)(bin + 1); /* (drop + r + 1) mod 256 */
+            out[(ptrdiff_t)bin * 65536 + (ptrdiff_t)first * 256 + z] += 1;
+        }
+    }
+}

@@ -1,0 +1,199 @@
+"""Optional compiled backend for the RC4 statistics pipeline.
+
+``_native.c`` (next to this module) implements per-key RC4 with the
+256-byte state in L1 plus fused generate-and-count kernels.  This module
+compiles it on demand with the system C compiler (``gcc``/``cc``), caches
+the shared object under ``~/.cache/repro-rc4/`` keyed by a hash of the
+source, and exposes thin ctypes wrappers.
+
+The backend is strictly optional: if no compiler is present, compilation
+fails, or ``REPRO_NATIVE=0`` is set, :func:`available` returns False and
+callers (``repro.rc4.batch``, ``repro.datasets.generate``) fall back to
+the pure-numpy paths.  Both paths are bit-exact with
+:mod:`repro.rc4.reference`; tests/test_dataset_equivalence.py compares
+them cell-for-cell.
+
+No third-party dependency is involved — only :mod:`ctypes` and a C
+compiler that the pure-python fallback makes optional.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+_ENV_DISABLE = "REPRO_NATIVE"
+_SOURCE = Path(__file__).with_name("_native.c")
+
+_lib: ctypes.CDLL | None = None
+_load_attempted = False
+_load_error: str | None = None
+
+
+def _cache_dir() -> Path:
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(base) / "repro-rc4"
+
+
+def _compile() -> Path:
+    """Compile ``_native.c`` into the cache, reusing a hash-matched build."""
+    source = _SOURCE.read_bytes()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    cache = _cache_dir()
+    target = cache / f"librc4stats-{digest}.so"
+    if target.exists():
+        return target
+    cache.mkdir(parents=True, exist_ok=True)
+    last_error = "no C compiler found"
+    for compiler in ("cc", "gcc", "clang"):
+        with tempfile.NamedTemporaryFile(
+            dir=cache, suffix=".so.tmp", delete=False
+        ) as tmp:
+            tmp_path = Path(tmp.name)
+        cmd = [
+            compiler,
+            "-O3",
+            "-shared",
+            "-fPIC",
+            str(_SOURCE),
+            "-o",
+            str(tmp_path),
+        ]
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            tmp_path.unlink(missing_ok=True)
+            last_error = f"{compiler}: {exc}"
+            continue
+        if proc.returncode != 0:
+            tmp_path.unlink(missing_ok=True)
+            last_error = f"{compiler}: {proc.stderr.strip()[:500]}"
+            continue
+        os.replace(tmp_path, target)  # atomic: safe under concurrent builds
+        return target
+    raise RuntimeError(f"native backend compilation failed ({last_error})")
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    ssize = ctypes.c_ssize_t
+    lib.rc4_batch_keystream.argtypes = [
+        u8p, ssize, ssize, ctypes.c_long, ctypes.c_long, u8p,
+    ]
+    lib.rc4_batch_keystream.restype = None
+    lib.rc4_count_single.argtypes = [u8p, ssize, ssize, ctypes.c_long, i64p]
+    lib.rc4_count_single.restype = None
+    lib.rc4_count_digraph.argtypes = [u8p, ssize, ssize, ctypes.c_long, i64p]
+    lib.rc4_count_digraph.restype = None
+    lib.rc4_count_longterm.argtypes = [
+        u8p, ssize, ssize, ctypes.c_long, ctypes.c_long, ctypes.c_long, i64p,
+    ]
+    lib.rc4_count_longterm.restype = None
+    return lib
+
+
+def _load() -> ctypes.CDLL | None:
+    global _lib, _load_attempted, _load_error
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    if os.environ.get(_ENV_DISABLE, "").strip() in ("0", "off", "false"):
+        _load_error = f"disabled via {_ENV_DISABLE}"
+        return None
+    try:
+        _lib = _bind(ctypes.CDLL(str(_compile())))
+    except Exception as exc:  # any failure => pure-numpy fallback
+        _load_error = str(exc)
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    """True when the compiled backend loaded (callers branch on this)."""
+    return _load() is not None
+
+
+def status() -> str:
+    """Human-readable backend state for diagnostics and bench records."""
+    if available():
+        return "native backend loaded"
+    return f"native backend unavailable: {_load_error}"
+
+
+def _check_keys(keys: np.ndarray) -> np.ndarray:
+    keys = np.ascontiguousarray(keys, dtype=np.uint8)
+    if keys.ndim != 2 or keys.shape[1] < 1:
+        raise ValueError(f"keys must be 2-D (n, keylen), got shape {keys.shape}")
+    return keys
+
+
+def _u8p(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8))
+
+
+def _i64p(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+
+
+def batch_keystream(
+    keys: np.ndarray, length: int, *, drop: int = 0
+) -> np.ndarray:
+    """Compiled equivalent of :func:`repro.rc4.batch.batch_keystream`."""
+    keys = _check_keys(keys)
+    n = keys.shape[0]
+    out = np.empty((n, length), dtype=np.uint8)
+    lib = _load()
+    assert lib is not None, "call available() first"
+    lib.rc4_batch_keystream(
+        _u8p(keys), n, keys.shape[1], drop, length, _u8p(out)
+    )
+    return out
+
+
+def count_single(keys: np.ndarray, positions: int, out: np.ndarray) -> None:
+    """Accumulate single-byte counts into ``out`` (positions, 256) int64."""
+    keys = _check_keys(keys)
+    lib = _load()
+    assert lib is not None, "call available() first"
+    assert out.dtype == np.int64 and out.flags.c_contiguous
+    lib.rc4_count_single(
+        _u8p(keys), keys.shape[0], keys.shape[1], positions, _i64p(out)
+    )
+
+
+def count_digraph(keys: np.ndarray, positions: int, out: np.ndarray) -> None:
+    """Accumulate consecutive-digraph counts into (positions, 256, 256)."""
+    keys = _check_keys(keys)
+    lib = _load()
+    assert lib is not None, "call available() first"
+    assert out.dtype == np.int64 and out.flags.c_contiguous
+    lib.rc4_count_digraph(
+        _u8p(keys), keys.shape[0], keys.shape[1], positions, _i64p(out)
+    )
+
+
+def count_longterm(
+    keys: np.ndarray, stream_len: int, drop: int, gap: int, out: np.ndarray
+) -> None:
+    """Accumulate counter-binned long-term digraphs into (256, 256, 256)."""
+    if not 0 <= gap <= 255:
+        raise ValueError(f"gap must be 0..255, got {gap}")
+    keys = _check_keys(keys)
+    lib = _load()
+    assert lib is not None, "call available() first"
+    assert out.dtype == np.int64 and out.flags.c_contiguous
+    lib.rc4_count_longterm(
+        _u8p(keys), keys.shape[0], keys.shape[1], stream_len, drop, gap,
+        _i64p(out),
+    )

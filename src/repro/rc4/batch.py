@@ -10,27 +10,47 @@ Performance notes (these dominate the whole statistics pipeline):
 
 - The permutation is stored transposed as a ``(256, n)`` uint8 array so
   the row ``S[i]`` — the same ``i`` for every instance, since ``i`` is the
-  public counter — is contiguous, and the full state stays small enough
-  to be cache-resident for moderate ``n``.
+  public counter — is contiguous.  (The per-instance-contiguous
+  ``(n, 256)`` layout was measured 2x slower here: numpy fancy-indexing
+  overhead on the three per-round gathers outweighs its cache locality.)
 - Per-instance accesses ``S[j_k]`` use flat indexing into the underlying
-  buffer (``j * n + instance``); index and scratch buffers are allocated
-  once and reused every round.
-- uint8 arithmetic wraps modulo 256 natively, which is exactly RC4's
-  addition; only index vectors are widened to ``intp``.
+  buffer (``j * n + instance``); every index and scratch buffer is
+  allocated once in ``__init__`` and reused, so steady-state rounds are
+  allocation-free.
+- ``j`` is kept as uint8: RC4's additions wrap modulo 256 natively, which
+  removes the explicit masking op and shrinks the add traffic 8x; only
+  the flat index vectors are widened to ``intp`` (via widening
+  ``np.multiply``).
+- :meth:`skip` is a dedicated fast path: it performs the swap without the
+  output gather ``S[S[i]+S[j]]``, saving 4 of the 12 per-round dispatches
+  (including the most expensive one) across e.g. the 1023 dropped rounds
+  of every long-term statistics chunk.
+- :meth:`stream_blocks` yields overlapping windows from a single reused
+  buffer so counting kernels can consume arbitrarily long streams without
+  materialising a ``(stream_len, n)`` block.
 
 Batch sizes around 2**13..2**15 keys keep the state in L2/L3 and amortise
 numpy call overhead; :func:`batch_keystream` transparently splits larger
 requests into chunks of ``chunk`` keys.
 
-The output is bit-exact with :mod:`repro.rc4.reference` (cross-checked in
+When the optional compiled backend (:mod:`repro.rc4._native`) is
+available, :func:`batch_keystream` routes through it — per-key scalar C
+with the 256-byte state in L1, several times faster again.  The
+class-based API below is the portable fallback and the only stateful
+(round-by-round) interface.
+
+All paths are bit-exact with :mod:`repro.rc4.reference` (cross-checked in
 the test suite, including property-based tests).
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import numpy as np
 
 from ..errors import KeyLengthError
+from . import _native
 
 #: Default number of instances stepped together; chosen so the transposed
 #: state (256 * chunk bytes) fits comfortably in L2/L3 cache.
@@ -45,7 +65,7 @@ class BatchRC4:
 
     The constructor runs the KSA for all instances; keystream bytes are
     then produced round by round with :meth:`next_bytes` or in bulk with
-    :meth:`keystream`.
+    :meth:`keystream` / :meth:`keystream_rows` / :meth:`stream_blocks`.
     """
 
     def __init__(self, keys: np.ndarray) -> None:
@@ -66,9 +86,11 @@ class BatchRC4:
         self._jflat = np.empty(n, dtype=np.intp)
         self._tflat = np.empty(n, dtype=np.intp)
         self._si = np.empty(n, dtype=np.uint8)
+        self._sj = np.empty(n, dtype=np.uint8)
+        self._t8 = np.empty(n, dtype=np.uint8)
         self._run_ksa(keys)
         self._i = 0
-        self._j = np.zeros(n, dtype=np.intp)
+        self._j = np.zeros(n, dtype=np.uint8)
 
     @property
     def n(self) -> int:
@@ -82,18 +104,19 @@ class BatchRC4:
         flat = self._flat
         jflat = self._jflat
         s_i = self._si
+        s_j = self._sj
         keylen = keys.shape[1]
         # Key bytes transposed so each KSA round reads a contiguous row.
         keys_t = np.ascontiguousarray(keys.T)
-        j = np.zeros(n, dtype=np.intp)
+        j = np.zeros(n, dtype=np.uint8)
         for i in range(256):
-            j += state[i]
-            j += keys_t[i % keylen]
-            j &= 0xFF
-            np.multiply(j, n, out=jflat)
+            np.add(j, state[i], out=j)
+            np.add(j, keys_t[i % keylen], out=j)
+            np.multiply(j, n, out=jflat, dtype=np.intp, casting="unsafe")
             jflat += ids
             s_i[:] = state[i]
-            state[i] = flat[jflat]
+            np.take(flat, jflat, out=s_j)
+            state[i] = s_j
             flat[jflat] = s_i
 
     def next_bytes(self, out: np.ndarray | None = None) -> np.ndarray:
@@ -103,30 +126,65 @@ class BatchRC4:
             out: optional uint8 buffer of length ``n`` to write into.
         """
         n = self._n
+        ids = self._ids
         state = self._state
         flat = self._flat
         jflat = self._jflat
         tflat = self._tflat
         s_i = self._si
+        s_j = self._sj
+        t8 = self._t8
         self._i = (self._i + 1) & 0xFF
         i = self._i
         j = self._j
-        j += state[i]
-        j &= 0xFF
-        np.multiply(j, n, out=jflat)
-        jflat += self._ids
+        np.add(j, state[i], out=j)
+        np.multiply(j, n, out=jflat, dtype=np.intp, casting="unsafe")
+        jflat += ids
         s_i[:] = state[i]
-        s_j = flat[jflat]
+        np.take(flat, jflat, out=s_j)
         state[i] = s_j
         flat[jflat] = s_i
         # t = (S[i] + S[j]) mod 256: uint8 addition wraps natively.
-        t = s_i + s_j
-        np.multiply(t, n, out=tflat, dtype=np.intp, casting="unsafe")
-        tflat += self._ids
+        np.add(s_i, s_j, out=t8)
+        np.multiply(t8, n, out=tflat, dtype=np.intp, casting="unsafe")
+        tflat += ids
         if out is None:
             return flat[tflat]
         np.take(flat, tflat, out=out)
         return out
+
+    def _fill_rows(self, out: np.ndarray, start: int, count: int) -> None:
+        """Run ``count`` fused PRGA rounds writing rows ``start..start+count-1``.
+
+        This is :meth:`next_bytes` with the loop body inlined (no method
+        dispatch or attribute lookups per round) writing straight into the
+        caller's buffer.
+        """
+        n = self._n
+        ids = self._ids
+        state = self._state
+        flat = self._flat
+        jflat = self._jflat
+        tflat = self._tflat
+        s_i = self._si
+        s_j = self._sj
+        t8 = self._t8
+        j = self._j
+        i = self._i
+        for r in range(start, start + count):
+            i = (i + 1) & 0xFF
+            np.add(j, state[i], out=j)
+            np.multiply(j, n, out=jflat, dtype=np.intp, casting="unsafe")
+            jflat += ids
+            s_i[:] = state[i]
+            np.take(flat, jflat, out=s_j)
+            state[i] = s_j
+            flat[jflat] = s_i
+            np.add(s_i, s_j, out=t8)
+            np.multiply(t8, n, out=tflat, dtype=np.intp, casting="unsafe")
+            tflat += ids
+            np.take(flat, tflat, out=out[r])
+        self._i = i
 
     def keystream(self, length: int) -> np.ndarray:
         """Return the next ``length`` keystream bytes of every instance.
@@ -134,28 +192,108 @@ class BatchRC4:
         Returns a uint8 array of shape ``(n, length)`` where column r holds
         Z_{r+1} (matching the paper's 1-indexed keystream positions).
         """
-        if length < 0:
-            raise ValueError(f"length must be non-negative, got {length}")
-        out = np.empty((length, self._n), dtype=np.uint8)
-        for r in range(length):
-            self.next_bytes(out=out[r])
-        return np.ascontiguousarray(out.T)
+        return np.ascontiguousarray(self.keystream_rows(length).T)
 
-    def keystream_rows(self, length: int) -> np.ndarray:
+    def keystream_rows(
+        self, length: int, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Like :meth:`keystream` but shaped ``(length, n)`` without the
         final transpose — faster when the consumer reduces over instances
-        (e.g. the counting kernels in :mod:`repro.datasets`)."""
+        (e.g. the counting kernels in :mod:`repro.datasets`).
+
+        Args:
+            length: rounds to run.
+            out: optional caller-provided ``(length, n)`` uint8 buffer,
+                written in place (avoids a block allocation per chunk).
+        """
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
-        out = np.empty((length, self._n), dtype=np.uint8)
-        for r in range(length):
-            self.next_bytes(out=out[r])
+        if out is None:
+            out = np.empty((length, self._n), dtype=np.uint8)
+        elif out.shape != (length, self._n) or out.dtype != np.uint8:
+            raise ValueError(
+                f"out must be uint8 of shape {(length, self._n)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        self._fill_rows(out, 0, length)
         return out
 
     def skip(self, length: int) -> None:
-        """Discard the next ``length`` keystream bytes of every instance."""
+        """Discard the next ``length`` keystream bytes of every instance.
+
+        Fast path: performs only the state swap, not the output gather
+        ``S[S[i]+S[j]]`` — 8 dispatches per round instead of 12 and no
+        16 KiB-per-round output traffic, which matters for the 1023-byte
+        drop of every long-term statistics chunk.
+        """
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        n = self._n
+        ids = self._ids
+        state = self._state
+        flat = self._flat
+        jflat = self._jflat
+        s_i = self._si
+        s_j = self._sj
+        j = self._j
+        i = self._i
         for _ in range(length):
-            self.next_bytes()
+            i = (i + 1) & 0xFF
+            np.add(j, state[i], out=j)
+            np.multiply(j, n, out=jflat, dtype=np.intp, casting="unsafe")
+            jflat += ids
+            s_i[:] = state[i]
+            np.take(flat, jflat, out=s_j)
+            state[i] = s_j
+            flat[jflat] = s_i
+        self._i = i
+
+    def stream_blocks(
+        self, rows: int, *, block: int = 64, overlap: int = 0
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``rows`` keystream rows as overlapping windows.
+
+        A single ``(block + overlap, n)`` buffer is reused for every
+        window, so consumers (digraph counting over long streams) never
+        hold more than one window in memory.
+
+        Yields ``(start, view)`` pairs where ``view[m]`` is absolute row
+        ``start + m`` of the stream.  The final ``overlap`` rows of each
+        window reappear as the first ``overlap`` rows of the next, so a
+        digraph consumer with pair span ``overlap`` can process
+        ``view.shape[0] - overlap`` first-positions per window without
+        losing pairs at window boundaries.
+
+        Args:
+            rows: total distinct keystream rows to generate.
+            block: new rows generated per window.
+            overlap: rows carried over between consecutive windows.
+        """
+        if rows < 0:
+            raise ValueError(f"rows must be non-negative, got {rows}")
+        if block < 1:
+            raise ValueError(f"block must be positive, got {block}")
+        if overlap < 0:
+            raise ValueError(f"overlap must be non-negative, got {overlap}")
+        if block < overlap:
+            # Keeps the carried rows and the fresh rows disjoint in the
+            # reused buffer (the carry copy below must not self-overlap).
+            raise ValueError(f"block ({block}) must be >= overlap ({overlap})")
+        if rows <= overlap:
+            return
+        buf = np.empty((min(block + overlap, rows), self._n), dtype=np.uint8)
+        first = buf.shape[0]
+        self._fill_rows(buf, 0, first)
+        yield 0, buf[:first]
+        produced = first
+        while produced < rows:
+            fresh = min(block, rows - produced)
+            if overlap:
+                buf[:overlap] = buf[first - overlap : first]
+            self._fill_rows(buf, overlap, fresh)
+            first = overlap + fresh
+            yield produced - overlap, buf[:first]
+            produced += fresh
 
 
 def batch_keystream(
@@ -167,13 +305,22 @@ def batch_keystream(
 ) -> np.ndarray:
     """Generate ``length`` keystream bytes for each key row in ``keys``.
 
-    Splits the work into cache-friendly chunks of at most ``chunk`` keys;
-    see :class:`BatchRC4` for layout details.
+    Routes through the compiled backend when available; otherwise splits
+    the work into cache-friendly chunks of at most ``chunk`` keys (see
+    :class:`BatchRC4` for layout details).  Both paths are bit-exact.
     """
     keys = np.asarray(keys, dtype=np.uint8)
     if keys.ndim != 2:
         raise KeyLengthError(f"keys must be 2-D (n, keylen), got shape {keys.shape}")
-    n = keys.shape[0]
+    n, keylen = keys.shape
+    if not 1 <= keylen <= 256:
+        raise KeyLengthError(f"RC4 key must be 1..256 bytes, got {keylen}")
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    if drop < 0:
+        raise ValueError(f"drop must be non-negative, got {drop}")
+    if _native.available():
+        return _native.batch_keystream(keys, length, drop=drop)
     if n <= chunk:
         batch = BatchRC4(keys)
         if drop:

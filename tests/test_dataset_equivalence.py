@@ -1,0 +1,248 @@
+"""Bit-exactness of the fused statistics engine.
+
+The engine has three layers that must all be byte-identical to the naive
+reference: the fused counting kernels (numpy grouped-bincount path), the
+optional compiled backend (``repro.rc4._native``), and the shared-memory
+shard reduction in ``generate_dataset``.  Every test here counts the same
+keystreams with :func:`repro.rc4.reference.rc4_keystream` Python loops
+and asserts cell-for-cell equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DatasetSpec,
+    consec_digraph_counts,
+    equality_counts,
+    generate_dataset,
+    longterm_digraph_counts,
+    pair_counts,
+    single_byte_counts,
+)
+from repro.rc4 import _native
+from repro.rc4.batch import BatchRC4, batch_keystream
+from repro.rc4.reference import rc4_keystream
+
+
+@pytest.fixture(params=["numpy", "native"])
+def backend(request, monkeypatch):
+    """Run the test body under each engine backend.
+
+    ``numpy`` forces the pure-numpy fallback by patching
+    ``_native.available``; ``native`` requires the compiled backend (and
+    skips where no C compiler exists).
+    """
+    if request.param == "native":
+        if not _native.available():
+            pytest.skip("native backend unavailable (no C compiler?)")
+    else:
+        monkeypatch.setattr(_native, "available", lambda: False)
+    return request.param
+
+
+def _keys(rng, n=16):
+    return rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+
+
+class TestKernelEquivalence:
+    """Fused kernels vs. per-key Python reference counting."""
+
+    def test_single_byte(self, rng, backend):
+        # 70 positions crosses the fused SINGLE_GROUP window boundary.
+        keys = _keys(rng)
+        positions = 70
+        counts = single_byte_counts(keys, positions)
+        expected = np.zeros((positions, 256), dtype=np.int64)
+        for key in keys:
+            stream = rc4_keystream(bytes(key), positions)
+            for r, z in enumerate(stream):
+                expected[r, z] += 1
+        assert np.array_equal(counts, expected)
+
+    def test_consec_digraphs(self, rng, backend):
+        # 19 positions crosses the fused DIGRAPH_GROUP window boundary.
+        keys = _keys(rng)
+        positions = 19
+        counts = consec_digraph_counts(keys, positions)
+        expected = np.zeros((positions, 256, 256), dtype=np.int64)
+        for key in keys:
+            stream = rc4_keystream(bytes(key), positions + 1)
+            for r in range(positions):
+                expected[r, stream[r], stream[r + 1]] += 1
+        assert np.array_equal(counts, expected)
+
+    def test_pairs(self, rng, backend):
+        keys = _keys(rng)
+        pairs = [(1, 3), (2, 16), (5, 2)]
+        counts = pair_counts(keys, pairs)
+        expected = np.zeros((len(pairs), 256, 256), dtype=np.int64)
+        for key in keys:
+            stream = rc4_keystream(bytes(key), 16)
+            for idx, (a, b) in enumerate(pairs):
+                expected[idx, stream[a - 1], stream[b - 1]] += 1
+        assert np.array_equal(counts, expected)
+
+    def test_equality(self, rng, backend):
+        keys = _keys(rng, 24)
+        pairs = [(1, 2), (2, 4)]
+        counts = equality_counts(keys, pairs)
+        for idx, (a, b) in enumerate(pairs):
+            manual = sum(
+                1
+                for key in keys
+                if rc4_keystream(bytes(key), 4)[a - 1]
+                == rc4_keystream(bytes(key), 4)[b - 1]
+            )
+            assert counts[idx, 0] == manual
+            assert counts[idx, 1] == len(keys)
+
+    @pytest.mark.parametrize(
+        "drop,gap", [(1023, 0), (1023, 1), (100, 1), (0, 3), (255, 0), (64, 11)]
+    )
+    def test_longterm_variants(self, rng, backend, drop, gap):
+        keys = _keys(rng, 4)
+        stream_len = 40
+        counts = longterm_digraph_counts(keys, stream_len, drop=drop, gap=gap)
+        expected = np.zeros((256, 256, 256), dtype=np.int64)
+        for key in keys:
+            stream = rc4_keystream(bytes(key), drop + stream_len + 1 + gap)[drop:]
+            for r in range(stream_len):
+                i = (drop + r + 1) % 256
+                expected[i, stream[r], stream[r + 1 + gap]] += 1
+        assert np.array_equal(counts, expected)
+
+    def test_accumulates_into_out(self, rng, backend):
+        keys = _keys(rng, 8)
+        out = consec_digraph_counts(keys, 3)
+        consec_digraph_counts(keys, 3, out=out)
+        assert out.sum() == 2 * 8 * 3
+
+    def test_accumulates_into_noncontiguous_out(self, rng, backend):
+        """Counts must land in the caller's buffer even when it is a
+        strided view (a flat reshape would silently count into a copy)."""
+        keys = _keys(rng, 8)
+        positions = 4
+        big = np.zeros((positions, 512), dtype=np.int64)
+        view = big[:, :256]
+        assert not view.flags.c_contiguous
+        single_byte_counts(keys, positions, out=view)
+        assert view.sum() == 8 * positions
+        assert np.array_equal(view, single_byte_counts(keys, positions))
+
+    def test_batch_keystream_rejects_negative_drop(self, rng, backend):
+        keys = _keys(rng, 2)
+        with pytest.raises(ValueError):
+            batch_keystream(keys, 8, drop=-1)
+
+
+class TestBackendParity:
+    """Native and numpy paths agree exactly on larger batches."""
+
+    @pytest.fixture(autouse=True)
+    def _require_native(self):
+        if not _native.available():
+            pytest.skip("native backend unavailable (no C compiler?)")
+
+    def test_batch_keystream_parity(self, rng, monkeypatch):
+        keys = rng.integers(0, 256, size=(300, 16), dtype=np.uint8)
+        native = batch_keystream(keys, 80, drop=1023)
+        monkeypatch.setattr(_native, "available", lambda: False)
+        fallback = batch_keystream(keys, 80, drop=1023)
+        assert np.array_equal(native, fallback)
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            lambda keys: single_byte_counts(keys, 130),
+            lambda keys: consec_digraph_counts(keys, 17),
+            lambda keys: longterm_digraph_counts(keys, 64, drop=1023, gap=1),
+        ],
+        ids=["single", "consec", "longterm"],
+    )
+    def test_counting_parity(self, rng, monkeypatch, kernel):
+        keys = rng.integers(0, 256, size=(512, 16), dtype=np.uint8)
+        native = kernel(keys)
+        monkeypatch.setattr(_native, "available", lambda: False)
+        fallback = kernel(keys)
+        assert np.array_equal(native, fallback)
+
+
+class TestSharedMemoryReduction:
+    """generate_dataset(processes=2) over shared memory == inline."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            DatasetSpec(kind="single", num_keys=1500, positions=6, label="shm-s"),
+            DatasetSpec(kind="consec", num_keys=1500, positions=4, label="shm-c"),
+            DatasetSpec(
+                kind="pairs", num_keys=1500, pairs=((1, 3), (2, 5)), label="shm-p"
+            ),
+            DatasetSpec(
+                kind="equality", num_keys=1500, pairs=((1, 2),), label="shm-e"
+            ),
+            DatasetSpec(
+                kind="longterm",
+                num_keys=1200,
+                stream_len=16,
+                drop=77,
+                gap=0,
+                label="shm-lt",
+            ),
+            DatasetSpec(
+                kind="longterm",
+                num_keys=1200,
+                stream_len=16,
+                drop=100,
+                gap=1,
+                label="shm-lt-gap",
+            ),
+        ],
+        ids=["single", "consec", "pairs", "equality", "longterm", "longterm-gap"],
+    )
+    def test_pooled_identical_to_inline(self, config, spec):
+        inline = generate_dataset(spec, config, processes=1, worker_chunk=256)
+        pooled = generate_dataset(spec, config, processes=2, worker_chunk=256)
+        assert np.array_equal(inline, pooled)
+
+    def test_worker_chunk_participates_in_derivation(self, config):
+        # Same num_keys, different chunking => different shard labels =>
+        # statistically independent (but internally consistent) datasets.
+        spec = DatasetSpec(kind="single", num_keys=600, positions=2, label="wc")
+        a = generate_dataset(spec, config, processes=1, worker_chunk=200)
+        b = generate_dataset(spec, config, processes=1, worker_chunk=300)
+        assert a.sum() == b.sum() == 600 * 2
+        assert not np.array_equal(a, b)
+
+    def test_rejects_bad_worker_chunk(self, config):
+        from repro.errors import DatasetError
+
+        spec = DatasetSpec(kind="single", num_keys=10, positions=1)
+        with pytest.raises(DatasetError):
+            generate_dataset(spec, config, worker_chunk=0)
+
+
+class TestStreamBlocks:
+    """The reused-buffer window generator behind the numpy kernels."""
+
+    def test_windows_reassemble_stream(self, rng):
+        keys = _keys(rng, 8)
+        ref = BatchRC4(keys).keystream_rows(100)
+        got = np.zeros_like(ref)
+        seen = np.zeros(100, dtype=np.int64)
+        for start, view in BatchRC4(keys).stream_blocks(100, block=7, overlap=2):
+            got[start : start + view.shape[0]] = view
+            seen[start : start + view.shape[0]] += 1
+        assert np.array_equal(ref, got)
+        # every row produced, interior rows covered twice at window seams
+        assert seen.min() >= 1
+
+    def test_no_window_when_rows_within_overlap(self, rng):
+        keys = _keys(rng, 2)
+        assert list(BatchRC4(keys).stream_blocks(2, block=8, overlap=2)) == []
+
+    def test_rejects_block_smaller_than_overlap(self, rng):
+        keys = _keys(rng, 2)
+        with pytest.raises(ValueError):
+            list(BatchRC4(keys).stream_blocks(10, block=2, overlap=3))

@@ -102,6 +102,17 @@ class TestKernelsAgainstReference:
         with pytest.raises(ValueError):
             pair_counts(_keys(rng, 2), [(1, 1)])
 
+    def test_equality_pair_validation(self, rng):
+        """equality_counts validates pairs the same way pair_counts does."""
+        with pytest.raises(ValueError):
+            equality_counts(_keys(rng, 2), [])
+        with pytest.raises(ValueError):
+            equality_counts(_keys(rng, 2), [(2, 2)])
+        with pytest.raises(ValueError):
+            equality_counts(_keys(rng, 2), [(0, 3)])
+        with pytest.raises(ValueError):
+            equality_counts(_keys(rng, 2), [(3, 0)])
+
 
 class TestGenerateDataset:
     def test_inline_matches_kernel(self, config):
