@@ -28,10 +28,26 @@ def test_wallclock_arithmetic(benchmark):
         format_table(
             ["claim", "paper", "reproduced"],
             [
-                ("TKIP capture (9.5 x 2^20 pkts)", "~1 hour", f"{tkip.capture_hours:.2f} h"),
-                ("TLS capture (9 x 2^27 reqs)", "75 hours", f"{tls.capture_hours:.1f} h"),
-                ("TLS capture, lucky run (6.2 x 2^27)", "52 hours", f"{tls_lucky.capture_hours:.1f} h"),
-                ("brute force 2^23 candidates", "< 7 min", f"{tls.search_seconds / 60:.1f} min"),
+                (
+                    "TKIP capture (9.5 x 2^20 pkts)",
+                    "~1 hour",
+                    f"{tkip.capture_hours:.2f} h",
+                ),
+                (
+                    "TLS capture (9 x 2^27 reqs)",
+                    "75 hours",
+                    f"{tls.capture_hours:.1f} h",
+                ),
+                (
+                    "TLS capture, lucky run (6.2 x 2^27)",
+                    "52 hours",
+                    f"{tls_lucky.capture_hours:.1f} h",
+                ),
+                (
+                    "brute force 2^23 candidates",
+                    "< 7 min",
+                    f"{tls.search_seconds / 60:.1f} min",
+                ),
             ],
             title="§5.4 / §6.3 wall-clock arithmetic",
         )

@@ -28,10 +28,44 @@ def rng():
 
 
 def test_batch_rc4_throughput(benchmark, rng):
-    """Keys/second for 64-byte keystreams (the statistics workhorse)."""
+    """Keys/second for 64-byte keystreams (the statistics workhorse).
+
+    Public API with default knobs: on the native backend this is the
+    interleaved PRGA fanned across all cores."""
     keys = rng.integers(0, 256, size=(1 << 13, 16), dtype=np.uint8)
     benchmark.extra_info["keys"] = 1 << 13
     result = benchmark(lambda: batch_keystream(keys, 64))
+    assert result.shape == (1 << 13, 64)
+
+
+def _native_or_skip():
+    from repro.rc4 import _native
+
+    if not _native.available():
+        pytest.skip("native backend unavailable (no C compiler?)")
+    return _native
+
+
+def test_batch_rc4_prga_scalar_1t(benchmark, rng):
+    """Ablation: one thread, scalar per-key PRGA (the PR-1 kernel)."""
+    _native = _native_or_skip()
+    keys = rng.integers(0, 256, size=(1 << 13, 16), dtype=np.uint8)
+    benchmark.extra_info["keys"] = 1 << 13
+    result = benchmark(
+        lambda: _native.batch_keystream(keys, 64, threads=1, interleave=False)
+    )
+    assert result.shape == (1 << 13, 64)
+
+
+def test_batch_rc4_prga_interleaved_1t(benchmark, rng):
+    """Ablation: one thread, interleaved PRGA — isolates the speedup from
+    overlapping the serial swap-latency chains, without threading."""
+    _native = _native_or_skip()
+    keys = rng.integers(0, 256, size=(1 << 13, 16), dtype=np.uint8)
+    benchmark.extra_info["keys"] = 1 << 13
+    result = benchmark(
+        lambda: _native.batch_keystream(keys, 64, threads=1, interleave=True)
+    )
     assert result.shape == (1 << 13, 64)
 
 

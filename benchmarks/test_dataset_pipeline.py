@@ -11,7 +11,6 @@ Every benchmark stores its work size in ``benchmark.extra_info`` so the
 runner can derive keys/sec and counts/sec rates.
 """
 
-import numpy as np
 import pytest
 
 from repro.datasets import DatasetSpec, generate_dataset
@@ -82,6 +81,28 @@ def test_longterm_dataset_wallclock(benchmark, config):
     benchmark.extra_info["counts"] = spec.num_keys * spec.stream_len
     counts = benchmark.pedantic(
         lambda: generate_dataset(spec, config, processes=1),
+        rounds=2,
+        iterations=1,
+    )
+    assert counts.sum() == spec.num_keys * spec.stream_len
+
+
+def test_longterm_dataset_singlethread(benchmark, config):
+    """The same long-term job pinned to one thread and the scalar kernels'
+    defaults left alone — the PR-1 single-thread native path, i.e. the
+    denominator of the threaded engine's speedup claim."""
+    spec = DatasetSpec(
+        kind="longterm",
+        num_keys=1 << 14,
+        stream_len=LONGTERM_STREAM,
+        drop=LONGTERM_DROP,
+        gap=0,
+        label="bench-longterm",
+    )
+    benchmark.extra_info["keys"] = spec.num_keys
+    benchmark.extra_info["counts"] = spec.num_keys * spec.stream_len
+    counts = benchmark.pedantic(
+        lambda: generate_dataset(spec, config, processes=1, threads=1),
         rounds=2,
         iterations=1,
     )

@@ -11,7 +11,6 @@ separates around 2^26 keys; the weaker ones need ~2^28-2^30, so sign
 agreement plus consistency is the laptop-scale check.
 """
 
-import numpy as np
 import pytest
 
 from repro.biases import EQUALITY_BIASES

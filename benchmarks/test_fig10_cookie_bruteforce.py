@@ -12,7 +12,6 @@ Shape requirements: candidate-list success dominates top-1 everywhere
 and rises with ciphertexts.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import success_rate_table

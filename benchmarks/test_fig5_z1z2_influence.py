@@ -18,7 +18,6 @@ from repro.biases import Z1Z2_FAMILIES
 from repro.datasets import DatasetSpec, generate_dataset
 from repro.utils.tables import format_table
 
-from _shared import z_score
 
 GRID = [3, 5, 8, 16, 32, 64, 128, 200, 256]
 

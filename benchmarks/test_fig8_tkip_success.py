@@ -10,7 +10,6 @@ success non-decreasing in captures, and candidate list >= top-2 at every
 point.
 """
 
-import numpy as np
 import pytest
 from itertools import islice
 

@@ -63,7 +63,7 @@ def test_fig9_median_icv_rank(benchmark, config, per_tsc_dists):
     medians = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
     rows = [
-        (f"2^{p.bit_length()-1}", f"{m:.0f}", f"2^{max(m, 1):.0f}".replace("2^", "~2^%.1f" % np.log2(max(m, 1))))
+        (f"2^{p.bit_length() - 1}", f"{m:.0f}", f"~2^{np.log2(max(m, 1)):.1f}")
         for p, m in zip(sweep, medians)
     ]
     print(

@@ -55,7 +55,9 @@ class FmRule:
 
 
 def _rule(name, values, condition, probability) -> FmRule:
-    return FmRule(name=name, values=values, condition=condition, probability=probability)
+    return FmRule(
+        name=name, values=values, condition=condition, probability=probability
+    )
 
 
 #: All 12 rows of Table 1.  ``r`` is the 1-indexed position of the first

@@ -138,7 +138,13 @@ TABLE2_ALL: tuple[PairBias, ...] = TABLE2_CONSECUTIVE + TABLE2_NONCONSECUTIVE
 Z1Z2_FAMILIES: tuple[tuple[str, int, object, object, int], ...] = (
     ("Z1=257-i & Zi=0", 1, lambda i: (257 - i) % 256, lambda i: 0, +1),
     ("Z1=257-i & Zi=i", 1, lambda i: (257 - i) % 256, lambda i: i % 256, +1),
-    ("Z1=257-i & Zi=257-i", 1, lambda i: (257 - i) % 256, lambda i: (257 - i) % 256, -1),
+    (
+        "Z1=257-i & Zi=257-i",
+        1,
+        lambda i: (257 - i) % 256,
+        lambda i: (257 - i) % 256,
+        -1,
+    ),
     ("Z1=i-1 & Zi=1", 1, lambda i: (i - 1) % 256, lambda i: 1, +1),
     ("Z2=0 & Zi=0", 2, lambda i: 0, lambda i: 0, -1),
     ("Z2=0 & Zi=i", 2, lambda i: 0, lambda i: i % 256, -1),

@@ -53,7 +53,9 @@ class ReproConfig:
         if not isinstance(self.seed, int) or self.seed < 0:
             raise ConfigError(f"seed must be a non-negative int, got {self.seed!r}")
 
-    def scaled(self, count: int, *, minimum: int = 1, maximum: int | None = None) -> int:
+    def scaled(
+        self, count: int, *, minimum: int = 1, maximum: int | None = None
+    ) -> int:
         """Scale a default sample count by ``self.scale``, with clamping."""
         value = max(minimum, int(round(count * self.scale)))
         if maximum is not None:

@@ -11,7 +11,11 @@ Two implementations sit behind every kernel:
 - When the compiled backend (:mod:`repro.rc4._native`) is available, the
   kernels are *fused generate-and-count*: each key's keystream is
   produced and counted in one C loop with the 256-byte state in L1 —
-  no keystream block is ever materialised.
+  no keystream block is ever materialised.  Every kernel takes a
+  ``threads`` knob (default ``REPRO_NATIVE_THREADS`` or
+  ``os.cpu_count()``): the C side splits keys across POSIX threads with
+  private counter blocks merged at the end, bit-exact for any thread
+  count.
 - The pure-numpy fallback streams overlapping windows out of
   :meth:`repro.rc4.batch.BatchRC4.stream_blocks` (one reused buffer, so
   long-term jobs never hold a ``(stream_len, n)`` block) and replaces the
@@ -52,10 +56,18 @@ def _contiguous_target(out: np.ndarray) -> np.ndarray:
     return np.zeros(out.shape, dtype=out.dtype)
 
 
-def _keystream_block(keys: np.ndarray, length: int, *, drop: int = 0) -> np.ndarray:
+def _keystream_block(
+    keys: np.ndarray,
+    length: int,
+    *,
+    drop: int = 0,
+    threads: int | None = None,
+) -> np.ndarray:
     """Full ``(length, n)`` keystream block (pair/equality kernels only)."""
     if _native.available():
-        return np.ascontiguousarray(_native.batch_keystream(keys, length, drop=drop).T)
+        return np.ascontiguousarray(
+            _native.batch_keystream(keys, length, drop=drop, threads=threads).T
+        )
     batch = BatchRC4(keys)
     if drop:
         batch.skip(drop)
@@ -63,19 +75,24 @@ def _keystream_block(keys: np.ndarray, length: int, *, drop: int = 0) -> np.ndar
 
 
 def single_byte_counts(
-    keys: np.ndarray, positions: int, *, out: np.ndarray | None = None
+    keys: np.ndarray,
+    positions: int,
+    *,
+    out: np.ndarray | None = None,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Count Z_r = k occurrences for r = 1..positions.
 
     Returns (or accumulates into ``out``) an int64 array of shape
-    ``(positions, 256)``.
+    ``(positions, 256)``.  ``threads`` selects the native backend's
+    thread count (the numpy fallback ignores it).
     """
     keys = np.ascontiguousarray(keys, dtype=np.uint8)
     if out is None:
         out = np.zeros((positions, 256), dtype=np.int64)
     target = _contiguous_target(out)
     if _native.available():
-        _native.count_single(keys, positions, target)
+        _native.count_single(keys, positions, target, threads=threads)
     else:
         flat = target.reshape(-1)
         n = keys.shape[0]
@@ -136,20 +153,27 @@ def _streamed_digraph_counts(
 
 
 def consec_digraph_counts(
-    keys: np.ndarray, positions: int, *, out: np.ndarray | None = None
+    keys: np.ndarray,
+    positions: int,
+    *,
+    out: np.ndarray | None = None,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Count consecutive digraphs (Z_r, Z_{r+1}) for r = 1..positions.
 
     This is the paper's ``consec512`` dataset shape: an int64 array of
     shape ``(positions, 256, 256)``.  Note the memory cost: 512 positions
-    need 512*65536*8 = 256 MiB; callers choose smaller ranges by default.
+    need 512*65536*8 = 256 MiB; callers choose smaller ranges by default
+    (and the native layer clamps ``threads`` so its private per-thread
+    counter blocks stay within a 4 GiB scratch budget, the same cap the
+    forked shared-memory pool uses).
     """
     keys = np.ascontiguousarray(keys, dtype=np.uint8)
     if out is None:
         out = np.zeros((positions, 256, 256), dtype=np.int64)
     target = _contiguous_target(out)
     if _native.available():
-        _native.count_digraph(keys, positions, target)
+        _native.count_digraph(keys, positions, target, threads=threads)
     else:
         row_offsets = np.arange(positions, dtype=np.int64) * 65536
         _streamed_digraph_counts(
@@ -170,6 +194,7 @@ def pair_counts(
     pairs: list[tuple[int, int]],
     *,
     out: np.ndarray | None = None,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Count joint values of arbitrary position pairs (a, b) with a != b.
 
@@ -182,7 +207,7 @@ def pair_counts(
         if a < 1 or b < 1 or a == b:
             raise ValueError(f"invalid position pair ({a}, {b})")
     length = max(max(a, b) for a, b in pairs)
-    rows = _keystream_block(keys, length)
+    rows = _keystream_block(keys, length, threads=threads)
     if out is None:
         out = np.zeros((len(pairs), 256, 256), dtype=np.int64)
     target = _contiguous_target(out)
@@ -200,6 +225,7 @@ def equality_counts(
     pairs: list[tuple[int, int]],
     *,
     out: np.ndarray | None = None,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Count the events Z_a == Z_b for the requested pairs (paper eqs 3-5).
 
@@ -212,7 +238,7 @@ def equality_counts(
         if a < 1 or b < 1 or a == b:
             raise ValueError(f"invalid position pair ({a}, {b})")
     length = max(max(a, b) for a, b in pairs)
-    rows = _keystream_block(keys, length)
+    rows = _keystream_block(keys, length, threads=threads)
     n = keys.shape[0]
     if out is None:
         out = np.zeros((len(pairs), 2), dtype=np.int64)
@@ -229,6 +255,7 @@ def longterm_digraph_counts(
     drop: int = 1023,
     gap: int = 0,
     out: np.ndarray | None = None,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Count digraphs (Z_r, Z_{r+1+gap}) aggregated by i = r mod 256.
 
@@ -244,6 +271,7 @@ def longterm_digraph_counts(
         gap: 0 for consecutive digraphs (FM), 1 for the w*256 pairs.
         out: optional ``(256, 256, 256)`` int64 accumulator indexed
             ``[i, first, second]``.
+        threads: native-backend thread count (numpy fallback ignores it).
 
     Returns:
         int64 array of shape ``(256, 256, 256)``.
@@ -257,7 +285,7 @@ def longterm_digraph_counts(
         out = np.zeros((256, 256, 256), dtype=np.int64)
     target = _contiguous_target(out)
     if _native.available():
-        _native.count_longterm(keys, stream_len, drop, gap, target)
+        _native.count_longterm(keys, stream_len, drop, gap, target, threads=threads)
     else:
         # Position r (1-indexed within this block) sits at absolute
         # position drop + r, so the PRGA counter for its output is

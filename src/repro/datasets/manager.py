@@ -2,22 +2,28 @@
 
 The paper used ~80 desktop machines plus three servers, each worker
 generating at most 2**30 keystreams before its partial counters were
-merged.  This module is the single-machine analogue: a
-``multiprocessing`` pool of workers, each deriving its own independent
-key stream from a child seed and counting with the fused kernels in
-:mod:`repro.datasets.generate`.
+merged.  This module is the single-machine analogue, with two execution
+strategies chosen by backend:
 
-Reduction is zero-copy: every worker process accumulates into one
-``multiprocessing.shared_memory`` int64 counter block (created by the
-parent, inherited through ``fork``), and the merge step sums the
-``processes`` blocks in place.  Nothing round-trips through pickle — the
-previous design returned one full counter per shard through ``pool.map``,
-which for ``consec``/``longterm`` jobs meant serialising 128–256 MiB of
-int64 per shard and capped the shard count at 32 to bound that cost.
-With shared-memory reduction the shard list is simply one shard per
-cache-sized key chunk (load-balanced across workers by the pool queue),
-so parallelism scales with ``cpu_count`` and shard sizing stays
-workload-derived and deterministic.
+- **Threaded native (preferred)**: when the compiled backend
+  (:mod:`repro.rc4._native`) is available, one process walks the shard
+  list inline and every fused kernel call fans the shard's keys across
+  POSIX threads inside C (``threads`` parameter, default
+  ``REPRO_NATIVE_THREADS`` or ``os.cpu_count()``).  Per-thread private
+  counter blocks are merged in C, so there is no fork, no shared-memory
+  segment, and no Python between a key and its counter update.
+- **Forked numpy (fallback)**: without the native backend, a
+  ``multiprocessing`` fork pool runs one worker per core.  Reduction is
+  zero-copy: every worker accumulates into one
+  ``multiprocessing.shared_memory`` int64 counter block (created by the
+  parent, inherited through ``fork``), and the merge step sums the
+  ``processes`` blocks in place — nothing round-trips through pickle.
+
+Both strategies consume the identical shard list (one shard per
+cache-sized key chunk, deterministic for a given ``num_keys``), derive
+identical per-shard keys, and produce bit-identical counters —
+``tests/test_dataset_equivalence.py`` checks every dataset kind across
+thread counts and process counts.
 
 Workers are plain module-level functions (picklable) parameterised by a
 :class:`DatasetSpec`; fork inheritance carries the shared counter views.
@@ -34,6 +40,7 @@ import numpy as np
 
 from ..config import ReproConfig
 from ..errors import DatasetError
+from ..rc4 import _native
 from ..rc4.keygen import derive_keys
 from . import generate as kernels
 
@@ -101,18 +108,30 @@ def _empty_counters(spec: DatasetSpec) -> np.ndarray:
     return np.zeros(_counter_shape(spec), dtype=np.int64)
 
 
-def _accumulate(spec: DatasetSpec, keys: np.ndarray, out: np.ndarray) -> None:
+def _accumulate(
+    spec: DatasetSpec,
+    keys: np.ndarray,
+    out: np.ndarray,
+    threads: int | None = 1,
+) -> None:
     if spec.kind == "single":
-        kernels.single_byte_counts(keys, spec.positions, out=out)
+        kernels.single_byte_counts(keys, spec.positions, out=out, threads=threads)
     elif spec.kind == "consec":
-        kernels.consec_digraph_counts(keys, spec.positions, out=out)
+        kernels.consec_digraph_counts(
+            keys, spec.positions, out=out, threads=threads
+        )
     elif spec.kind == "pairs":
-        kernels.pair_counts(keys, list(spec.pairs), out=out)
+        kernels.pair_counts(keys, list(spec.pairs), out=out, threads=threads)
     elif spec.kind == "equality":
-        kernels.equality_counts(keys, list(spec.pairs), out=out)
+        kernels.equality_counts(keys, list(spec.pairs), out=out, threads=threads)
     elif spec.kind == "longterm":
         kernels.longterm_digraph_counts(
-            keys, spec.stream_len, drop=spec.drop, gap=spec.gap, out=out
+            keys,
+            spec.stream_len,
+            drop=spec.drop,
+            gap=spec.gap,
+            out=out,
+            threads=threads,
         )
     else:
         raise DatasetError(f"unknown dataset kind {spec.kind!r}")
@@ -125,6 +144,7 @@ def _count_shard(
     shard_keys: int,
     worker_chunk: int,
     out: np.ndarray,
+    threads: int | None = 1,
 ) -> None:
     """Count ``shard_keys`` keystreams of one shard into ``out``."""
     remaining = shard_keys
@@ -137,7 +157,7 @@ def _count_shard(
             take,
             keylen=spec.keylen,
         )
-        _accumulate(spec, keys, out)
+        _accumulate(spec, keys, out, threads=threads)
         remaining -= take
         part += 1
 
@@ -241,6 +261,7 @@ def generate_dataset(
     *,
     processes: int | None = None,
     worker_chunk: int = WORKER_CHUNK,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Generate a dataset, optionally in parallel.
 
@@ -248,14 +269,22 @@ def generate_dataset(
         spec: the counting job.
         config: run configuration (seeding + scale already applied by the
             caller to ``spec.num_keys``).
-        processes: worker processes; None = ``min(cpu, shards)``,
-            1 = run inline (no pool — used by tests for determinism of
-            coverage tools).
+        processes: worker processes.  ``None`` picks the backend's best
+            strategy: a *single* process whose native kernels fan keys
+            across POSIX threads when the compiled backend is available
+            (in-C merge, no fork), else ``min(cpu, shards)`` forked
+            numpy workers with shared-memory reduction.  An explicit
+            value forces that many processes; pooled workers always run
+            their kernels single-threaded to avoid oversubscription.
         worker_chunk: keys per shard / kernel invocation.  The default
             keeps the batch RC4 state cache-resident; tests shrink it to
             exercise the multi-shard reduction cheaply.  The value
             participates in key derivation (shard labels), so inline and
             pooled runs agree only when it matches.
+        threads: native kernel thread count for the single-process
+            strategy; ``None`` = ``REPRO_NATIVE_THREADS`` or
+            ``os.cpu_count()``, 1 = fully serial.  Counters are
+            bit-identical for every value.
     """
     spec.validate()
     if worker_chunk < 1:
@@ -271,11 +300,17 @@ def generate_dataset(
         if size > 0
     ]
     if processes is None:
-        processes = mp.cpu_count()
+        # One threaded native process beats N forked workers: threads
+        # share the key chunks and the L3, and the counter merge happens
+        # once in C instead of across shared-memory segments.
+        processes = 1 if _native.available() else mp.cpu_count()
     processes = min(processes, len(shard_args))
     if processes <= 1:
         total = _empty_counters(spec)
         for args in shard_args:
-            _count_shard(spec, config, args[2], args[3], worker_chunk, total)
+            _count_shard(
+                spec, config, args[2], args[3], worker_chunk, total,
+                threads=threads,
+            )
         return total
     return _generate_pooled(spec, shard_args, processes)

@@ -6,15 +6,38 @@
  * is run start-to-finish with its 256-byte state in L1, which is the
  * same layout the paper's C workers used (§3.2).
  *
- * Everything is bit-exact with repro.rc4.reference; the Python side
- * cross-checks this in tests/test_dataset_equivalence.py.
+ * Two levels of parallelism sit on top of the scalar per-key loops:
  *
- * Build contract (see _native.py): plain C99, no includes beyond the
- * two below, compiled with `cc -O3 -shared -fPIC`.
+ * - Interleaving: the PRGA recurrence (i, j, two state loads, a swap, an
+ *   output gather) is a serial dependency chain, so a single state leaves
+ *   most of the core idle.  The interleaved kernels advance RC4_IL
+ *   independent states per loop iteration; their chains overlap and the
+ *   four 256-byte states still fit in L1 together.
+ * - POSIX threads: keys split into contiguous ranges, one range per
+ *   thread.  Keystream threads write disjoint output rows; counting
+ *   threads accumulate into private zero-initialised counter blocks that
+ *   the caller's thread merges serially at the end.  int64 addition is
+ *   exact and commutative, so the merged counters are bit-identical to a
+ *   single-threaded run for any thread count and any key partition.
+ *
+ * Everything is bit-exact with repro.rc4.reference; the Python side
+ * cross-checks this in tests/test_dataset_equivalence.py across thread
+ * counts and across the interleaved vs scalar kernels.
+ *
+ * Build contract (see _native.py): plain C99, no dependencies beyond
+ * libc + pthreads, compiled with `cc -O3 -shared -fPIC -pthread`.
  */
 
+#include <pthread.h>
 #include <stddef.h>
 #include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* Independent RC4 states advanced per interleaved loop iteration.  4 x
+ * 256 B of state stays L1-resident while giving the out-of-order core
+ * four independent swap chains to overlap. */
+#define RC4_IL 4
 
 static void rc4_init(uint8_t *S, const uint8_t *key, ptrdiff_t keylen)
 {
@@ -41,11 +64,36 @@ static void rc4_init(uint8_t *S, const uint8_t *key, ptrdiff_t keylen)
 
 #define RC4_OUT(S, i, j) ((S)[(uint8_t)((S)[(i)] + (S)[(j)])])
 
-/* Generate `length` keystream bytes per key into `out` (n x length,
- * row-major: out[k*length + r] = Z_{r+1} of key k), after discarding
- * `drop` initial bytes. */
-void rc4_batch_keystream(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
-                         long drop, long length, uint8_t *out)
+/* Interleaved working set: RC4_IL states advanced in lock-step within
+ * one thread.  All loops below iterate k = 0..RC4_IL-1 over fixed-size
+ * arrays, which the compiler fully unrolls at -O3. */
+typedef struct {
+    uint8_t S[RC4_IL][256];
+    uint8_t i[RC4_IL];
+    uint8_t j[RC4_IL];
+} rc4_lanes;
+
+static void lanes_init(rc4_lanes *L, const uint8_t *keys, ptrdiff_t keylen,
+                       long drop)
+{
+    int k;
+    long r;
+    uint8_t tmp;
+    for (k = 0; k < RC4_IL; k++) {
+        rc4_init(L->S[k], keys + k * keylen, keylen);
+        L->i[k] = 0;
+        L->j[k] = 0;
+    }
+    for (r = 0; r < drop; r++)
+        for (k = 0; k < RC4_IL; k++)
+            RC4_STEP(L->S[k], L->i[k], L->j[k], tmp);
+}
+
+/* ---- keystream ---------------------------------------------------------- */
+
+static void keystream_scalar(const uint8_t *keys, ptrdiff_t n,
+                             ptrdiff_t keylen, long drop, long length,
+                             uint8_t *out)
 {
     ptrdiff_t k;
     long r;
@@ -63,9 +111,31 @@ void rc4_batch_keystream(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
     }
 }
 
-/* Single-byte counts: out[r*256 + Z_{r+1}] += 1 for r = 0..positions-1. */
-void rc4_count_single(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
-                      long positions, int64_t *out)
+static void keystream_interleaved(const uint8_t *keys, ptrdiff_t n,
+                                  ptrdiff_t keylen, long drop, long length,
+                                  uint8_t *out)
+{
+    ptrdiff_t g;
+    for (g = 0; g + RC4_IL <= n; g += RC4_IL) {
+        rc4_lanes L;
+        uint8_t tmp;
+        int k;
+        long r;
+        lanes_init(&L, keys + g * keylen, keylen, drop);
+        for (r = 0; r < length; r++)
+            for (k = 0; k < RC4_IL; k++) {
+                RC4_STEP(L.S[k], L.i[k], L.j[k], tmp);
+                out[(g + k) * length + r] = RC4_OUT(L.S[k], L.i[k], L.j[k]);
+            }
+    }
+    keystream_scalar(keys + g * keylen, n - g, keylen, drop, length,
+                     out + g * length);
+}
+
+/* ---- single-byte counts ------------------------------------------------- */
+
+static void single_scalar(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
+                          long positions, int64_t *out)
 {
     ptrdiff_t k;
     long r;
@@ -80,10 +150,31 @@ void rc4_count_single(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
     }
 }
 
-/* Consecutive digraphs: out[r*65536 + Z_{r+1}*256 + Z_{r+2}] += 1 for
- * r = 0..positions-1 (needs positions+1 keystream bytes per key). */
-void rc4_count_digraph(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
-                       long positions, int64_t *out)
+static void single_interleaved(const uint8_t *keys, ptrdiff_t n,
+                               ptrdiff_t keylen, long positions, int64_t *out)
+{
+    ptrdiff_t g;
+    for (g = 0; g + RC4_IL <= n; g += RC4_IL) {
+        rc4_lanes L;
+        uint8_t tmp;
+        int k;
+        long r;
+        lanes_init(&L, keys + g * keylen, keylen, 0);
+        for (r = 0; r < positions; r++) {
+            int64_t *row = out + r * 256;
+            for (k = 0; k < RC4_IL; k++) {
+                RC4_STEP(L.S[k], L.i[k], L.j[k], tmp);
+                row[RC4_OUT(L.S[k], L.i[k], L.j[k])] += 1;
+            }
+        }
+    }
+    single_scalar(keys + g * keylen, n - g, keylen, positions, out);
+}
+
+/* ---- consecutive digraph counts ----------------------------------------- */
+
+static void digraph_scalar(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
+                           long positions, int64_t *out)
 {
     ptrdiff_t k;
     long r;
@@ -102,12 +193,43 @@ void rc4_count_digraph(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
     }
 }
 
+static void digraph_interleaved(const uint8_t *keys, ptrdiff_t n,
+                                ptrdiff_t keylen, long positions, int64_t *out)
+{
+    ptrdiff_t g;
+    for (g = 0; g + RC4_IL <= n; g += RC4_IL) {
+        rc4_lanes L;
+        uint8_t tmp, z;
+        uint8_t prev[RC4_IL];
+        int k;
+        long r;
+        lanes_init(&L, keys + g * keylen, keylen, 0);
+        for (k = 0; k < RC4_IL; k++) {
+            RC4_STEP(L.S[k], L.i[k], L.j[k], tmp);
+            prev[k] = RC4_OUT(L.S[k], L.i[k], L.j[k]);
+        }
+        for (r = 0; r < positions; r++) {
+            int64_t *row = out + r * 65536;
+            for (k = 0; k < RC4_IL; k++) {
+                RC4_STEP(L.S[k], L.i[k], L.j[k], tmp);
+                z = RC4_OUT(L.S[k], L.i[k], L.j[k]);
+                row[(ptrdiff_t)prev[k] * 256 + z] += 1;
+                prev[k] = z;
+            }
+        }
+    }
+    digraph_scalar(keys + g * keylen, n - g, keylen, positions, out);
+}
+
+/* ---- long-term digraph counts ------------------------------------------- */
+
 /* Long-term digraphs binned by the PRGA counter (§3.4):
  * out[i*65536 + Z_r*256 + Z_{r+1+gap}] += 1 where i = (drop+r+1) mod 256
  * and r = 1..stream_len (1-indexed past the dropped prefix).  A rolling
  * window of gap+1 bytes supplies the first element of each pair. */
-void rc4_count_longterm(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
-                        long stream_len, long drop, long gap, int64_t *out)
+static void longterm_scalar(const uint8_t *keys, ptrdiff_t n,
+                            ptrdiff_t keylen, long stream_len, long drop,
+                            long gap, int64_t *out)
 {
     ptrdiff_t k;
     long r;
@@ -133,4 +255,226 @@ void rc4_count_longterm(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
             out[(ptrdiff_t)bin * 65536 + (ptrdiff_t)first * 256 + z] += 1;
         }
     }
+}
+
+static void longterm_interleaved(const uint8_t *keys, ptrdiff_t n,
+                                 ptrdiff_t keylen, long stream_len, long drop,
+                                 long gap, int64_t *out)
+{
+    long width = gap + 1;
+    ptrdiff_t g;
+    for (g = 0; g + RC4_IL <= n; g += RC4_IL) {
+        rc4_lanes L;
+        uint8_t window[RC4_IL][256];
+        uint8_t tmp, z, first;
+        /* The counter bin depends only on drop and r, so it is shared by
+         * all lanes. */
+        uint8_t bin = (uint8_t)(drop & 0xFF);
+        int k;
+        long r;
+        lanes_init(&L, keys + g * keylen, keylen, drop);
+        for (r = 0; r < width; r++)
+            for (k = 0; k < RC4_IL; k++) {
+                RC4_STEP(L.S[k], L.i[k], L.j[k], tmp);
+                window[k][r] = RC4_OUT(L.S[k], L.i[k], L.j[k]);
+            }
+        for (r = 0; r < stream_len; r++) {
+            long slot = r % width;
+            int64_t *row;
+            bin = (uint8_t)(bin + 1);
+            row = out + (ptrdiff_t)bin * 65536;
+            for (k = 0; k < RC4_IL; k++) {
+                RC4_STEP(L.S[k], L.i[k], L.j[k], tmp);
+                z = RC4_OUT(L.S[k], L.i[k], L.j[k]);
+                first = window[k][slot];
+                window[k][slot] = z;
+                row[(ptrdiff_t)first * 256 + z] += 1;
+            }
+        }
+    }
+    longterm_scalar(keys + g * keylen, n - g, keylen, stream_len, drop, gap,
+                    out);
+}
+
+/* ---- thread fan-out ----------------------------------------------------- */
+
+enum job_kind { JOB_KEYSTREAM, JOB_SINGLE, JOB_DIGRAPH, JOB_LONGTERM };
+
+typedef struct {
+    enum job_kind kind;
+    int interleave;
+    const uint8_t *keys; /* this range's first key */
+    ptrdiff_t n;         /* keys in this range */
+    ptrdiff_t keylen;
+    long length; /* keystream length / positions / stream_len */
+    long drop;
+    long gap;
+    uint8_t *out_u8;   /* keystream rows for this range (disjoint) */
+    int64_t *out_i64;  /* private counter block for this range */
+} rc4_job;
+
+static void run_job(const rc4_job *job)
+{
+    switch (job->kind) {
+    case JOB_KEYSTREAM:
+        if (job->interleave)
+            keystream_interleaved(job->keys, job->n, job->keylen, job->drop,
+                                  job->length, job->out_u8);
+        else
+            keystream_scalar(job->keys, job->n, job->keylen, job->drop,
+                             job->length, job->out_u8);
+        break;
+    case JOB_SINGLE:
+        if (job->interleave)
+            single_interleaved(job->keys, job->n, job->keylen, job->length,
+                               job->out_i64);
+        else
+            single_scalar(job->keys, job->n, job->keylen, job->length,
+                          job->out_i64);
+        break;
+    case JOB_DIGRAPH:
+        if (job->interleave)
+            digraph_interleaved(job->keys, job->n, job->keylen, job->length,
+                                job->out_i64);
+        else
+            digraph_scalar(job->keys, job->n, job->keylen, job->length,
+                           job->out_i64);
+        break;
+    case JOB_LONGTERM:
+        if (job->interleave)
+            longterm_interleaved(job->keys, job->n, job->keylen, job->length,
+                                 job->drop, job->gap, job->out_i64);
+        else
+            longterm_scalar(job->keys, job->n, job->keylen, job->length,
+                            job->drop, job->gap, job->out_i64);
+        break;
+    }
+}
+
+static void *thread_main(void *arg)
+{
+    run_job((const rc4_job *)arg);
+    return NULL;
+}
+
+/* Split `template` (covering all n keys) into `threads` contiguous key
+ * ranges and run them concurrently.  For counting jobs each range gets a
+ * private zeroed counter block of `counter_cells` int64 cells, merged
+ * serially into `template->out_i64` afterwards; keystream jobs write
+ * disjoint rows and need no merge.  Any allocation or spawn failure
+ * degrades to running the remaining work on the calling thread — the
+ * result is identical either way. */
+static void run_threaded(const rc4_job *template, int threads,
+                         ptrdiff_t counter_cells)
+{
+    ptrdiff_t n = template->n;
+    rc4_job *jobs;
+    pthread_t *tids;
+    char *spawned;
+    int64_t *blocks = NULL;
+    ptrdiff_t base, extra, start;
+    int t;
+
+    if (threads > n)
+        threads = (int)(n > 0 ? n : 1);
+    if (threads <= 1) {
+        run_job(template);
+        return;
+    }
+    jobs = malloc((size_t)threads * sizeof(rc4_job));
+    tids = malloc((size_t)threads * sizeof(pthread_t));
+    spawned = malloc((size_t)threads);
+    if (template->kind != JOB_KEYSTREAM)
+        blocks = calloc((size_t)threads * (size_t)counter_cells,
+                        sizeof(int64_t));
+    if (!jobs || !tids || !spawned ||
+        (template->kind != JOB_KEYSTREAM && !blocks)) {
+        free(jobs);
+        free(tids);
+        free(spawned);
+        free(blocks);
+        run_job(template);
+        return;
+    }
+
+    base = n / threads;
+    extra = n % threads;
+    start = 0;
+    for (t = 0; t < threads; t++) {
+        ptrdiff_t count = base + (t < extra ? 1 : 0);
+        jobs[t] = *template;
+        jobs[t].keys = template->keys + start * template->keylen;
+        jobs[t].n = count;
+        if (template->kind == JOB_KEYSTREAM)
+            jobs[t].out_u8 = template->out_u8 + start * template->length;
+        else
+            jobs[t].out_i64 = blocks + (ptrdiff_t)t * counter_cells;
+        start += count;
+    }
+    for (t = 0; t < threads; t++)
+        spawned[t] = pthread_create(&tids[t], NULL, thread_main, &jobs[t]) == 0;
+    for (t = 0; t < threads; t++) {
+        if (spawned[t])
+            pthread_join(tids[t], NULL);
+        else
+            run_job(&jobs[t]); /* degraded but still correct */
+    }
+    if (template->kind != JOB_KEYSTREAM) {
+        int64_t *out = template->out_i64;
+        for (t = 0; t < threads; t++) {
+            const int64_t *block = blocks + (ptrdiff_t)t * counter_cells;
+            ptrdiff_t c;
+            for (c = 0; c < counter_cells; c++)
+                out[c] += block[c];
+        }
+    }
+    free(jobs);
+    free(tids);
+    free(spawned);
+    free(blocks);
+}
+
+/* ---- exported entry points ---------------------------------------------- */
+
+/* Generate `length` keystream bytes per key into `out` (n x length,
+ * row-major: out[k*length + r] = Z_{r+1} of key k), after discarding
+ * `drop` initial bytes. */
+void rc4_batch_keystream(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
+                         long drop, long length, uint8_t *out, int threads,
+                         int interleave)
+{
+    rc4_job job = {JOB_KEYSTREAM, interleave, keys, n,    keylen,
+                   length,        drop,       0,    out,  NULL};
+    run_threaded(&job, threads, 0);
+}
+
+/* Single-byte counts: out[r*256 + Z_{r+1}] += 1 for r = 0..positions-1. */
+void rc4_count_single(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
+                      long positions, int64_t *out, int threads,
+                      int interleave)
+{
+    rc4_job job = {JOB_SINGLE, interleave, keys, n,    keylen,
+                   positions,  0,          0,    NULL, out};
+    run_threaded(&job, threads, (ptrdiff_t)positions * 256);
+}
+
+/* Consecutive digraphs: out[r*65536 + Z_{r+1}*256 + Z_{r+2}] += 1 for
+ * r = 0..positions-1 (needs positions+1 keystream bytes per key). */
+void rc4_count_digraph(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
+                       long positions, int64_t *out, int threads,
+                       int interleave)
+{
+    rc4_job job = {JOB_DIGRAPH, interleave, keys, n,    keylen,
+                   positions,   0,          0,    NULL, out};
+    run_threaded(&job, threads, (ptrdiff_t)positions * 65536);
+}
+
+/* Long-term digraphs (see longterm_scalar above for the binning). */
+void rc4_count_longterm(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
+                        long stream_len, long drop, long gap, int64_t *out,
+                        int threads, int interleave)
+{
+    rc4_job job = {JOB_LONGTERM, interleave, keys, n,    keylen,
+                   stream_len,   drop,       gap,  NULL, out};
+    run_threaded(&job, threads, (ptrdiff_t)256 * 65536);
 }

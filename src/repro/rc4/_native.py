@@ -6,10 +6,24 @@ compiles it on demand with the system C compiler (``gcc``/``cc``), caches
 the shared object under ``~/.cache/repro-rc4/`` keyed by a hash of the
 source, and exposes thin ctypes wrappers.
 
+Two performance knobs ride on every kernel:
+
+- ``threads`` (default ``os.cpu_count()``, overridable per call or via
+  ``REPRO_NATIVE_THREADS``): the C side splits keys into contiguous
+  ranges, one POSIX thread each.  Counting threads accumulate into
+  private blocks merged serially at the end, so results are bit-exact
+  for any thread count.
+- ``interleave`` (default on, ``REPRO_NATIVE_INTERLEAVE=0`` to disable):
+  selects the interleaved kernels that advance several independent RC4
+  states per loop iteration to hide the serial swap-latency chain.
+
 The backend is strictly optional: if no compiler is present, compilation
 fails, or ``REPRO_NATIVE=0`` is set, :func:`available` returns False and
 callers (``repro.rc4.batch``, ``repro.datasets.generate``) fall back to
-the pure-numpy paths.  Both paths are bit-exact with
+the pure-numpy paths.  An unexpected failure (as opposed to an explicit
+disable) emits a single :class:`RuntimeWarning` so slow runs are
+diagnosable; ``REPRO_NATIVE_CC`` pins the compiler for tests that
+simulate a broken toolchain.  Both paths are bit-exact with
 :mod:`repro.rc4.reference`; tests/test_dataset_equivalence.py compares
 them cell-for-cell.
 
@@ -24,12 +38,24 @@ import hashlib
 import os
 import subprocess
 import tempfile
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 _ENV_DISABLE = "REPRO_NATIVE"
+_ENV_THREADS = "REPRO_NATIVE_THREADS"
+_ENV_INTERLEAVE = "REPRO_NATIVE_INTERLEAVE"
+_ENV_CC = "REPRO_NATIVE_CC"
 _SOURCE = Path(__file__).with_name("_native.c")
+
+#: Aggregate private-counter budget across threads (bytes).  Wide
+#: machines counting 256 MiB consec blocks would otherwise multiply that
+#: by cpu_count; threads are clamped so scratch stays under this.  4 GiB
+#: matches the cap the forked shared-memory pool has always used, so the
+#: threaded default is never narrower than the pool it replaced (32
+#: threads for 128 MiB longterm counters, 16 for 256 MiB consec512).
+_THREAD_SCRATCH_BUDGET = 4 << 30
 
 _lib: ctypes.CDLL | None = None
 _load_attempted = False
@@ -43,6 +69,13 @@ def _cache_dir() -> Path:
     return Path(base) / "repro-rc4"
 
 
+def _compilers() -> tuple[str, ...]:
+    pinned = os.environ.get(_ENV_CC, "").strip()
+    if pinned:
+        return (pinned,)
+    return ("cc", "gcc", "clang")
+
+
 def _compile() -> Path:
     """Compile ``_native.c`` into the cache, reusing a hash-matched build."""
     source = _SOURCE.read_bytes()
@@ -53,7 +86,7 @@ def _compile() -> Path:
         return target
     cache.mkdir(parents=True, exist_ok=True)
     last_error = "no C compiler found"
-    for compiler in ("cc", "gcc", "clang"):
+    for compiler in _compilers():
         with tempfile.NamedTemporaryFile(
             dir=cache, suffix=".so.tmp", delete=False
         ) as tmp:
@@ -63,6 +96,7 @@ def _compile() -> Path:
             "-O3",
             "-shared",
             "-fPIC",
+            "-pthread",
             str(_SOURCE),
             "-o",
             str(tmp_path),
@@ -79,6 +113,14 @@ def _compile() -> Path:
             tmp_path.unlink(missing_ok=True)
             last_error = f"{compiler}: {proc.stderr.strip()[:500]}"
             continue
+        # A compiler that "succeeds" but writes nothing (or dies mid-write
+        # leaving a truncated object) must not poison the cache: CDLL below
+        # would fail and _load() records the error, but only a non-empty
+        # artefact is ever promoted to the hash-keyed name.
+        if tmp_path.stat().st_size == 0:
+            tmp_path.unlink(missing_ok=True)
+            last_error = f"{compiler}: produced an empty object"
+            continue
         os.replace(tmp_path, target)  # atomic: safe under concurrent builds
         return target
     raise RuntimeError(f"native backend compilation failed ({last_error})")
@@ -88,16 +130,22 @@ def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
     u8p = ctypes.POINTER(ctypes.c_uint8)
     i64p = ctypes.POINTER(ctypes.c_int64)
     ssize = ctypes.c_ssize_t
+    cint = ctypes.c_int
     lib.rc4_batch_keystream.argtypes = [
-        u8p, ssize, ssize, ctypes.c_long, ctypes.c_long, u8p,
+        u8p, ssize, ssize, ctypes.c_long, ctypes.c_long, u8p, cint, cint,
     ]
     lib.rc4_batch_keystream.restype = None
-    lib.rc4_count_single.argtypes = [u8p, ssize, ssize, ctypes.c_long, i64p]
+    lib.rc4_count_single.argtypes = [
+        u8p, ssize, ssize, ctypes.c_long, i64p, cint, cint,
+    ]
     lib.rc4_count_single.restype = None
-    lib.rc4_count_digraph.argtypes = [u8p, ssize, ssize, ctypes.c_long, i64p]
+    lib.rc4_count_digraph.argtypes = [
+        u8p, ssize, ssize, ctypes.c_long, i64p, cint, cint,
+    ]
     lib.rc4_count_digraph.restype = None
     lib.rc4_count_longterm.argtypes = [
-        u8p, ssize, ssize, ctypes.c_long, ctypes.c_long, ctypes.c_long, i64p,
+        u8p, ssize, ssize, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+        i64p, cint, cint,
     ]
     lib.rc4_count_longterm.restype = None
     return lib
@@ -116,6 +164,12 @@ def _load() -> ctypes.CDLL | None:
     except Exception as exc:  # any failure => pure-numpy fallback
         _load_error = str(exc)
         _lib = None
+        warnings.warn(
+            "repro native backend unavailable, falling back to the pure-"
+            f"numpy engine (expect a slower statistics pipeline): {exc}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return _lib
 
 
@@ -125,10 +179,56 @@ def available() -> bool:
 
 
 def status() -> str:
-    """Human-readable backend state for diagnostics and bench records."""
+    """Human-readable backend state for diagnostics and bench records.
+
+    Never raises: a malformed ``REPRO_NATIVE_THREADS`` is something this
+    function should report, not die from.
+    """
     if available():
-        return "native backend loaded"
+        try:
+            threads = str(resolve_threads(None))
+        except ValueError:
+            env = os.environ.get(_ENV_THREADS, "")
+            threads = f"invalid {_ENV_THREADS}={env!r}"
+        return (
+            f"native backend loaded (threads={threads}, "
+            f"interleave={'on' if _interleave(None) else 'off'})"
+        )
     return f"native backend unavailable: {_load_error}"
+
+
+def resolve_threads(threads: int | None, counter_bytes: int = 0) -> int:
+    """Effective thread count for a kernel call.
+
+    ``None`` means "the configured default": ``REPRO_NATIVE_THREADS`` if
+    set, else ``os.cpu_count()``.  The result is clamped to at least 1
+    and, for counting kernels, so that ``threads * counter_bytes`` of
+    private scratch stays within the 1 GiB budget.
+    """
+    if threads is None:
+        env = os.environ.get(_ENV_THREADS, "").strip()
+        if env:
+            try:
+                threads = int(env)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{_ENV_THREADS} must be an integer, got {env!r}"
+                ) from exc
+        else:
+            threads = os.cpu_count() or 1
+    threads = max(1, int(threads))
+    if counter_bytes > 0:
+        threads = min(threads, max(1, _THREAD_SCRATCH_BUDGET // counter_bytes))
+    return threads
+
+
+def _interleave(interleave: bool | None) -> int:
+    """Resolve the interleave knob (per-call override beats the env)."""
+    if interleave is None:
+        return 0 if os.environ.get(_ENV_INTERLEAVE, "").strip() in (
+            "0", "off", "false"
+        ) else 1
+    return 1 if interleave else 0
 
 
 def _check_keys(keys: np.ndarray) -> np.ndarray:
@@ -147,7 +247,12 @@ def _i64p(array: np.ndarray):
 
 
 def batch_keystream(
-    keys: np.ndarray, length: int, *, drop: int = 0
+    keys: np.ndarray,
+    length: int,
+    *,
+    drop: int = 0,
+    threads: int | None = None,
+    interleave: bool | None = None,
 ) -> np.ndarray:
     """Compiled equivalent of :func:`repro.rc4.batch.batch_keystream`."""
     keys = _check_keys(keys)
@@ -156,35 +261,59 @@ def batch_keystream(
     lib = _load()
     assert lib is not None, "call available() first"
     lib.rc4_batch_keystream(
-        _u8p(keys), n, keys.shape[1], drop, length, _u8p(out)
+        _u8p(keys), n, keys.shape[1], drop, length, _u8p(out),
+        resolve_threads(threads), _interleave(interleave),
     )
     return out
 
 
-def count_single(keys: np.ndarray, positions: int, out: np.ndarray) -> None:
+def count_single(
+    keys: np.ndarray,
+    positions: int,
+    out: np.ndarray,
+    *,
+    threads: int | None = None,
+    interleave: bool | None = None,
+) -> None:
     """Accumulate single-byte counts into ``out`` (positions, 256) int64."""
     keys = _check_keys(keys)
     lib = _load()
     assert lib is not None, "call available() first"
     assert out.dtype == np.int64 and out.flags.c_contiguous
     lib.rc4_count_single(
-        _u8p(keys), keys.shape[0], keys.shape[1], positions, _i64p(out)
+        _u8p(keys), keys.shape[0], keys.shape[1], positions, _i64p(out),
+        resolve_threads(threads, out.nbytes), _interleave(interleave),
     )
 
 
-def count_digraph(keys: np.ndarray, positions: int, out: np.ndarray) -> None:
+def count_digraph(
+    keys: np.ndarray,
+    positions: int,
+    out: np.ndarray,
+    *,
+    threads: int | None = None,
+    interleave: bool | None = None,
+) -> None:
     """Accumulate consecutive-digraph counts into (positions, 256, 256)."""
     keys = _check_keys(keys)
     lib = _load()
     assert lib is not None, "call available() first"
     assert out.dtype == np.int64 and out.flags.c_contiguous
     lib.rc4_count_digraph(
-        _u8p(keys), keys.shape[0], keys.shape[1], positions, _i64p(out)
+        _u8p(keys), keys.shape[0], keys.shape[1], positions, _i64p(out),
+        resolve_threads(threads, out.nbytes), _interleave(interleave),
     )
 
 
 def count_longterm(
-    keys: np.ndarray, stream_len: int, drop: int, gap: int, out: np.ndarray
+    keys: np.ndarray,
+    stream_len: int,
+    drop: int,
+    gap: int,
+    out: np.ndarray,
+    *,
+    threads: int | None = None,
+    interleave: bool | None = None,
 ) -> None:
     """Accumulate counter-binned long-term digraphs into (256, 256, 256)."""
     if not 0 <= gap <= 255:
@@ -196,4 +325,5 @@ def count_longterm(
     lib.rc4_count_longterm(
         _u8p(keys), keys.shape[0], keys.shape[1], stream_len, drop, gap,
         _i64p(out),
+        resolve_threads(threads, out.nbytes), _interleave(interleave),
     )

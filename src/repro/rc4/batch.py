@@ -71,7 +71,9 @@ class BatchRC4:
     def __init__(self, keys: np.ndarray) -> None:
         keys = np.asarray(keys, dtype=np.uint8)
         if keys.ndim != 2:
-            raise KeyLengthError(f"keys must be 2-D (n, keylen), got shape {keys.shape}")
+            raise KeyLengthError(
+                f"keys must be 2-D (n, keylen), got shape {keys.shape}"
+            )
         n, keylen = keys.shape
         if not 1 <= keylen <= 256:
             raise KeyLengthError(f"RC4 key must be 1..256 bytes, got {keylen}")
@@ -302,12 +304,22 @@ def batch_keystream(
     *,
     drop: int = 0,
     chunk: int = DEFAULT_CHUNK,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Generate ``length`` keystream bytes for each key row in ``keys``.
 
     Routes through the compiled backend when available; otherwise splits
     the work into cache-friendly chunks of at most ``chunk`` keys (see
     :class:`BatchRC4` for layout details).  Both paths are bit-exact.
+
+    Args:
+        keys: uint8 array of shape ``(n, keylen)``.
+        length: keystream bytes per key.
+        drop: initial bytes to discard per key.
+        chunk: numpy-path batch size (native path ignores it).
+        threads: native-path thread count; ``None`` uses the configured
+            default (``REPRO_NATIVE_THREADS`` or ``os.cpu_count()``).
+            The numpy fallback is single-threaded and ignores it.
     """
     keys = np.asarray(keys, dtype=np.uint8)
     if keys.ndim != 2:
@@ -320,7 +332,7 @@ def batch_keystream(
     if drop < 0:
         raise ValueError(f"drop must be non-negative, got {drop}")
     if _native.available():
-        return _native.batch_keystream(keys, length, drop=drop)
+        return _native.batch_keystream(keys, length, drop=drop, threads=threads)
     if n <= chunk:
         batch = BatchRC4(keys)
         if drop:

@@ -70,7 +70,8 @@ class KeystreamKeySource:
             blocks.append(block)
             produced += len(block)
         material = b"".join(blocks)[:needed]
-        return np.frombuffer(material, dtype=np.uint8).reshape(count, self._keylen).copy()
+        flat = np.frombuffer(material, dtype=np.uint8)
+        return flat.reshape(count, self._keylen).copy()
 
 
 def derive_keys(

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..biases.fluhrer_mcgrew import fm_digraph_distribution, position_to_counter
 from ..config import ReproConfig
@@ -27,7 +26,7 @@ from ..tls.attack import (
     run_attack,
 )
 from ..tls.bruteforce import BruteForceOracle
-from ..tls.cookies import COOKIE_CHARSET, random_cookie
+from ..tls.cookies import random_cookie
 from ..tls.http import CookieJar
 from ..tls.mitm import MitmCampaign
 from .sampling import sample_absab_differential_counts, sample_digraph_counts

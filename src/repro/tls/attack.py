@@ -126,7 +126,9 @@ class CookieStatistics:
     num_requests: int = 0
 
     @classmethod
-    def empty(cls, layout: CookieLayout, *, max_gap: int = MAX_GAP) -> "CookieStatistics":
+    def empty(
+        cls, layout: CookieLayout, *, max_gap: int = MAX_GAP
+    ) -> "CookieStatistics":
         transitions = layout.transitions()
         fm_counts = np.zeros((len(transitions), 256, 256), dtype=np.int64)
         absab: dict[tuple[int, int, str], np.ndarray] = {}

@@ -70,7 +70,10 @@ class MitmCampaign:
         cookie, after the target, so it never moves the cookie.
         """
         jar.attacker_isolate(target_cookie)
-        injected = injected or [("injected1", b"known1"), ("injected2", b"knownplaintext2")]
+        injected = injected or [
+            ("injected1", b"known1"),
+            ("injected2", b"knownplaintext2"),
+        ]
         jar.attacker_inject(injected)
         cookie_value = jar.cookies[target_cookie]
         template = HttpRequestTemplate(

@@ -30,7 +30,8 @@ def save_arrays(
         raise DatasetError(f"array name {_META_KEY!r} is reserved")
     meta = dict(metadata)
     meta["format_version"] = FORMAT_VERSION
-    blob = np.frombuffer(json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8)
+    encoded = json.dumps(meta, sort_keys=True).encode("utf-8")
+    blob = np.frombuffer(encoded, dtype=np.uint8)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(path, **{_META_KEY: blob}, **arrays)
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")

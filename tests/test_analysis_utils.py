@@ -1,6 +1,5 @@
 """Reporting helpers, tables, byte ops, serialization, configuration."""
 
-import math
 
 import numpy as np
 import pytest

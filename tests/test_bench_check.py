@@ -1,0 +1,169 @@
+"""Unit tests for the benchmark regression gate (run_benchmarks --check).
+
+``benchmarks/`` is not a package, so the module is loaded straight from
+its file path.  The gate itself is pure-dict comparison, which keeps
+these tests millisecond-fast — no benchmarks actually run.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_RUNNER = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "run_benchmarks.py"
+)
+_spec = importlib.util.spec_from_file_location("run_benchmarks", _RUNNER)
+run_benchmarks = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(run_benchmarks)
+
+
+def _record(means: dict[str, float], native: bool = True) -> dict:
+    return {
+        "native_backend": native,
+        "benchmarks": {
+            name: {"mean_s": mean} for name, mean in means.items()
+        },
+    }
+
+
+class TestCompareRecords:
+    def test_flags_synthetic_2x_slowdown(self):
+        baseline = _record({"test_longterm_dataset_wallclock": 0.100})
+        current = _record({"test_longterm_dataset_wallclock": 0.200})
+        regressions, _ = run_benchmarks.compare_records(
+            baseline, current, tolerance=0.25
+        )
+        assert len(regressions) == 1
+        assert "test_longterm_dataset_wallclock" in regressions[0]
+        assert "2.00x" in regressions[0]
+
+    def test_within_tolerance_passes(self):
+        baseline = _record({"a": 0.100, "b": 0.050})
+        current = _record({"a": 0.120, "b": 0.055})  # +20%, +10%
+        regressions, notes = run_benchmarks.compare_records(
+            baseline, current, tolerance=0.25
+        )
+        assert regressions == []
+        assert notes == []
+
+    def test_speedups_never_flag(self):
+        baseline = _record({"a": 0.100})
+        current = _record({"a": 0.010})
+        regressions, _ = run_benchmarks.compare_records(
+            baseline, current, tolerance=0.0
+        )
+        assert regressions == []
+
+    def test_disjoint_benchmarks_are_noted_not_flagged(self):
+        baseline = _record({"a": 0.1, "removed": 0.1})
+        current = _record({"a": 0.1, "added": 0.1})
+        regressions, notes = run_benchmarks.compare_records(
+            baseline, current, tolerance=0.25
+        )
+        assert regressions == []
+        assert any("removed" in n for n in notes)
+        assert any("added" in n for n in notes)
+
+    def test_backend_mismatch_skips_comparison(self):
+        """numpy-vs-native means differ by design; never flag across them."""
+        baseline = _record({"a": 0.010}, native=True)
+        current = _record({"a": 0.100}, native=False)
+        regressions, notes = run_benchmarks.compare_records(
+            baseline, current, tolerance=0.25
+        )
+        assert regressions == []
+        assert any("native backend differs" in n for n in notes)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            run_benchmarks.compare_records(_record({}), _record({}), -0.1)
+
+
+class TestCheckExitCodes:
+    def test_missing_baseline_fails_before_benchmarks_run(
+        self, tmp_path, monkeypatch
+    ):
+        def boom(json_path, *, smoke):
+            raise AssertionError("benchmarks must not run without a baseline")
+
+        monkeypatch.setattr(run_benchmarks, "_run_pytest", boom)
+        rc = run_benchmarks.main(
+            ["--smoke", "--check", str(tmp_path / "missing.json")]
+        )
+        assert rc == 1
+
+    def test_regression_exit_code_is_2(self, tmp_path, monkeypatch):
+        """End-to-end main(): a synthetic 2x slowdown exits REGRESSION_EXIT."""
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_record({"bench_x": 0.050})))
+
+        def fake_run(json_path, *, smoke):
+            Path(json_path).write_text(
+                json.dumps(
+                    {
+                        "benchmarks": [
+                            {
+                                "name": "bench_x",
+                                "stats": {
+                                    "mean": 0.100,
+                                    "min": 0.100,
+                                    "stddev": 0.0,
+                                    "rounds": 1,
+                                },
+                                "extra_info": {},
+                            }
+                        ]
+                    }
+                )
+            )
+            return 0
+
+        monkeypatch.setattr(run_benchmarks, "_run_pytest", fake_run)
+        monkeypatch.setattr(
+            run_benchmarks, "_native_backend_status", lambda: True
+        )
+        baseline_data = json.loads(baseline.read_text())
+        baseline_data["native_backend"] = True
+        baseline.write_text(json.dumps(baseline_data))
+        rc = run_benchmarks.main(
+            ["--smoke", "--check", str(baseline), "--tolerance", "0.25"]
+        )
+        assert rc == run_benchmarks.REGRESSION_EXIT == 2
+
+    def test_within_tolerance_exits_zero(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(_record({"bench_x": 0.100}, native=True))
+        )
+
+        def fake_run(json_path, *, smoke):
+            Path(json_path).write_text(
+                json.dumps(
+                    {
+                        "benchmarks": [
+                            {
+                                "name": "bench_x",
+                                "stats": {
+                                    "mean": 0.105,
+                                    "min": 0.105,
+                                    "stddev": 0.0,
+                                    "rounds": 1,
+                                },
+                                "extra_info": {},
+                            }
+                        ]
+                    }
+                )
+            )
+            return 0
+
+        monkeypatch.setattr(run_benchmarks, "_run_pytest", fake_run)
+        monkeypatch.setattr(
+            run_benchmarks, "_native_backend_status", lambda: True
+        )
+        rc = run_benchmarks.main(
+            ["--smoke", "--check", str(baseline), "--tolerance", "0.25"]
+        )
+        assert rc == 0

@@ -10,7 +10,6 @@ from repro.biases import (
     MANTIN_SHAMIR,
     NEW_128_0,
     SENGUPTA_00,
-    TABLE2_ALL,
     TABLE2_CONSECUTIVE,
     TABLE2_NONCONSECUTIVE,
     W256_PAIR_BIASES,

@@ -1,0 +1,110 @@
+"""Structural dry-run of .github/workflows/ci.yml.
+
+`act` is not available in the offline environment, so this is the
+equivalent gate: parse the workflow and assert the properties the repo
+relies on — the REPRO_NATIVE matrix, `make verify`, the compile cache
+keyed on _native.c's hash, the thread-determinism matrix, the lint job,
+and the soft-fail regression step.  A workflow edit that breaks any of
+these fails the tier-1 suite locally instead of failing silently on the
+first push.
+"""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = (
+    Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+)
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    data = yaml.safe_load(WORKFLOW.read_text())
+    assert isinstance(data, dict), "ci.yml did not parse to a mapping"
+    return data
+
+
+def _steps(job: dict) -> list[dict]:
+    steps = job.get("steps")
+    assert isinstance(steps, list) and steps, "job has no steps"
+    return steps
+
+
+def _run_lines(job: dict) -> str:
+    return "\n".join(s.get("run", "") for s in _steps(job))
+
+
+def test_workflow_exists_and_triggers(workflow):
+    # pyyaml parses the bare key `on:` as boolean True (YAML 1.1).
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers
+    assert "push" in triggers
+
+
+def test_verify_job_runs_make_verify_in_both_native_modes(workflow):
+    job = workflow["jobs"]["verify"]
+    matrix = job["strategy"]["matrix"]
+    assert sorted(matrix["native"]) == ["0", "1"]
+    assert job["env"]["REPRO_NATIVE"] == "${{ matrix.native }}"
+    assert "make verify" in _run_lines(job)
+
+
+def test_verify_job_caches_native_build_keyed_on_source_hash(workflow):
+    job = workflow["jobs"]["verify"]
+    cache_steps = [
+        s for s in _steps(job) if "actions/cache" in str(s.get("uses", ""))
+    ]
+    assert cache_steps, "verify job must cache ~/.cache/repro-rc4"
+    cache = cache_steps[0]["with"]
+    assert "repro-rc4" in cache["path"]
+    assert "hashFiles('src/repro/rc4/_native.c')" in cache["key"]
+
+
+def test_verify_job_has_soft_fail_regression_step(workflow):
+    job = workflow["jobs"]["verify"]
+    check_steps = [
+        s for s in _steps(job) if "--check" in s.get("run", "")
+    ]
+    assert check_steps, "verify job must run the --check regression gate"
+    assert all(
+        s.get("continue-on-error") is True for s in check_steps
+    ), "regression gate must be soft-fail in CI"
+    assert "--tolerance" in check_steps[0]["run"]
+
+
+def test_thread_determinism_job_covers_one_and_default(workflow):
+    job = workflow["jobs"]["thread-determinism"]
+    matrix = job["strategy"]["matrix"]
+    assert "1" in matrix["threads"], "must pin REPRO_NATIVE_THREADS=1"
+    assert "default" in matrix["threads"], "must also run the default"
+    runs = _run_lines(job)
+    assert "REPRO_NATIVE_THREADS" in runs
+    assert "test_dataset_equivalence" in runs
+
+
+def test_lint_job_runs_ruff(workflow):
+    job = workflow["jobs"]["lint"]
+    runs = _run_lines(job)
+    assert "ruff" in runs
+    assert "make lint" in runs
+
+
+def test_ruff_config_exists():
+    root = WORKFLOW.parent.parent.parent
+    assert (root / "ruff.toml").exists()
+
+
+def test_bench_baseline_referenced_by_ci_is_committed(workflow):
+    """The --check step must point at a file that actually exists."""
+    job = workflow["jobs"]["verify"]
+    runs = _run_lines(job)
+    for token in runs.split():
+        if token.startswith("benchmarks/BENCH_"):
+            root = WORKFLOW.parent.parent.parent
+            assert (root / token).exists(), f"CI references missing {token}"
+            break
+    else:
+        pytest.fail("no BENCH baseline referenced in verify job")

@@ -1,6 +1,6 @@
 """Candidate enumeration: Algorithm 1, lazy variant, Algorithm 2, HMM."""
 
-from itertools import islice, product
+from itertools import islice
 
 import numpy as np
 import pytest

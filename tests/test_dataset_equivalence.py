@@ -1,12 +1,16 @@
 """Bit-exactness of the fused statistics engine.
 
-The engine has three layers that must all be byte-identical to the naive
+The engine has four layers that must all be byte-identical to the naive
 reference: the fused counting kernels (numpy grouped-bincount path), the
-optional compiled backend (``repro.rc4._native``), and the shared-memory
-shard reduction in ``generate_dataset``.  Every test here counts the same
-keystreams with :func:`repro.rc4.reference.rc4_keystream` Python loops
-and asserts cell-for-cell equality.
+optional compiled backend (``repro.rc4._native``) with its scalar and
+interleaved PRGA kernels, the POSIX-threaded native fan-out (private
+per-thread counters merged in C), and the shared-memory shard reduction
+in ``generate_dataset``.  Every test here counts the same keystreams
+with :func:`repro.rc4.reference.rc4_keystream` Python loops (or the
+single-threaded kernel output) and asserts cell-for-cell equality.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -166,6 +170,118 @@ class TestBackendParity:
         monkeypatch.setattr(_native, "available", lambda: False)
         fallback = kernel(keys)
         assert np.array_equal(native, fallback)
+
+
+#: Thread counts every dataset kind is checked under: serial, the
+#: smallest genuinely-parallel count, and whatever this machine defaults
+#: to.  Deduplicated so single-core CI still runs {1, 2}.
+THREAD_COUNTS = sorted({1, 2, os.cpu_count() or 1})
+
+#: Every dataset kind with a small spec, shared by the thread and
+#: interleave sweeps below.
+ALL_KIND_SPECS = [
+    DatasetSpec(kind="single", num_keys=900, positions=6, label="mt-s"),
+    DatasetSpec(kind="consec", num_keys=900, positions=4, label="mt-c"),
+    DatasetSpec(kind="pairs", num_keys=900, pairs=((1, 3), (2, 5)), label="mt-p"),
+    DatasetSpec(kind="equality", num_keys=900, pairs=((1, 2),), label="mt-e"),
+    DatasetSpec(
+        kind="longterm",
+        num_keys=600,
+        stream_len=16,
+        drop=77,
+        gap=1,
+        label="mt-lt",
+    ),
+]
+ALL_KIND_IDS = [spec.kind for spec in ALL_KIND_SPECS]
+
+
+class TestThreadedNativeEquivalence:
+    """Threaded and interleaved native kernels == serial scalar kernels.
+
+    This is the acceptance gate for the multi-core native engine: for
+    every dataset kind the counters must be cell-for-cell identical
+    across ``threads in {1, 2, cpu_count()}`` and across the interleaved
+    vs scalar PRGA kernels.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _require_native(self):
+        if not _native.available():
+            pytest.skip("native backend unavailable (no C compiler?)")
+
+    @pytest.mark.parametrize("spec", ALL_KIND_SPECS, ids=ALL_KIND_IDS)
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    def test_dataset_identical_across_thread_counts(
+        self, config, spec, threads
+    ):
+        reference = generate_dataset(
+            spec, config, processes=1, worker_chunk=128, threads=1
+        )
+        threaded = generate_dataset(
+            spec, config, processes=1, worker_chunk=128, threads=threads
+        )
+        assert np.array_equal(reference, threaded)
+
+    @pytest.mark.parametrize("spec", ALL_KIND_SPECS, ids=ALL_KIND_IDS)
+    def test_dataset_identical_across_prga_kernels(
+        self, config, spec, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_NATIVE_INTERLEAVE", "0")
+        scalar = generate_dataset(spec, config, processes=1, worker_chunk=128)
+        monkeypatch.setenv("REPRO_NATIVE_INTERLEAVE", "1")
+        interleaved = generate_dataset(
+            spec, config, processes=1, worker_chunk=128
+        )
+        assert np.array_equal(scalar, interleaved)
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("interleave", [False, True], ids=["scalar", "il"])
+    def test_kernel_level_matrix(self, rng, threads, interleave):
+        """Direct kernel calls: every (threads, interleave) cell agrees
+        with the serial scalar baseline, including key counts that are
+        not multiples of the interleave width or thread count."""
+        keys = rng.integers(0, 256, size=(103, 16), dtype=np.uint8)
+
+        base = np.zeros((7, 256), dtype=np.int64)
+        _native.count_single(keys, 7, base, threads=1, interleave=False)
+        got = np.zeros_like(base)
+        _native.count_single(
+            keys, 7, got, threads=threads, interleave=interleave
+        )
+        assert np.array_equal(base, got)
+
+        base = np.zeros((5, 256, 256), dtype=np.int64)
+        _native.count_digraph(keys, 5, base, threads=1, interleave=False)
+        got = np.zeros_like(base)
+        _native.count_digraph(
+            keys, 5, got, threads=threads, interleave=interleave
+        )
+        assert np.array_equal(base, got)
+
+        base = np.zeros((256, 256, 256), dtype=np.int64)
+        _native.count_longterm(keys, 24, 100, 1, base, threads=1, interleave=False)
+        got = np.zeros_like(base)
+        _native.count_longterm(
+            keys, 24, 100, 1, got, threads=threads, interleave=interleave
+        )
+        assert np.array_equal(base, got)
+
+        base = _native.batch_keystream(
+            keys, 40, drop=13, threads=1, interleave=False
+        )
+        got = _native.batch_keystream(
+            keys, 40, drop=13, threads=threads, interleave=interleave
+        )
+        assert np.array_equal(base, got)
+
+    def test_threads_env_default_used_by_kernels(self, rng, monkeypatch):
+        """REPRO_NATIVE_THREADS steers the default without changing counts."""
+        keys = rng.integers(0, 256, size=(64, 16), dtype=np.uint8)
+        base = single_byte_counts(keys, 4, threads=1)
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "2")
+        env_default = single_byte_counts(keys, 4)
+        assert np.array_equal(base, env_default)
 
 
 class TestSharedMemoryReduction:

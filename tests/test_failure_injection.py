@@ -6,7 +6,6 @@ assert the corresponding check fires (and, where the paper exploits a
 *missing* check, that the exploit path stays open).
 """
 
-import numpy as np
 import pytest
 
 from repro.errors import AttackError, TkipError, TlsError

@@ -6,8 +6,6 @@ recovery needs paper-scale ciphertexts, the sampled sufficient-statistic
 path stands in (see DESIGN.md).
 """
 
-import numpy as np
-import pytest
 
 from repro.config import ReproConfig
 from repro.simulate import (

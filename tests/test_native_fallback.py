@@ -1,0 +1,138 @@
+"""Graceful degradation of the compiled backend.
+
+A missing or broken C toolchain must never break imports or change
+results — the engine warns once and runs on the pure-numpy path.  The
+simulated-breakage tests run in subprocesses because ``_native`` caches
+its load attempt per process: ``REPRO_NATIVE_CC`` pins the compiler to
+``/bin/false`` (exits nonzero without writing output, the
+"died mid-write" case) and ``XDG_CACHE_HOME`` points at a throwaway
+directory so no previously cached build can be picked up.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+_PROBE = """
+import json
+import warnings
+
+import numpy as np
+
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+    from repro.rc4 import _native
+    from repro.datasets.generate import single_byte_counts
+
+    available = _native.available()
+    counts = single_byte_counts(
+        np.arange(32, dtype=np.uint8).reshape(2, 16), 4
+    )
+print(json.dumps({
+    "available": available,
+    "status": _native.status(),
+    "total": int(counts.sum()),
+    "warnings": [str(w.message) for w in caught
+                 if issubclass(w.category, RuntimeWarning)],
+}))
+"""
+
+
+def _probe(extra_env: dict[str, str], tmp_path: Path) -> dict:
+    env = dict(os.environ)
+    env.pop("REPRO_NATIVE", None)
+    env["PYTHONPATH"] = REPO_SRC
+    env["XDG_CACHE_HOME"] = str(tmp_path / "cache")
+    env.update(extra_env)
+    proc = subprocess.run(
+        [sys.executable, "-c", _PROBE],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_broken_compiler_falls_back_with_warning(tmp_path):
+    """cc = /bin/false: import succeeds, numpy path used, one warning."""
+    result = _probe({"REPRO_NATIVE_CC": "/bin/false"}, tmp_path)
+    assert result["available"] is False
+    assert "unavailable" in result["status"]
+    # Counting still works (2 keys x 4 positions) via the numpy fallback.
+    assert result["total"] == 8
+    assert len(result["warnings"]) == 1
+    assert "falling back" in result["warnings"][0]
+
+
+def test_missing_compiler_falls_back_with_warning(tmp_path):
+    """A compiler binary that does not exist at all degrades the same way."""
+    result = _probe(
+        {"REPRO_NATIVE_CC": str(tmp_path / "no-such-cc")}, tmp_path
+    )
+    assert result["available"] is False
+    assert result["total"] == 8
+    assert len(result["warnings"]) == 1
+
+
+def test_explicit_disable_is_silent(tmp_path):
+    """REPRO_NATIVE=0 is a deliberate choice: no warning noise."""
+    result = _probe({"REPRO_NATIVE": "0"}, tmp_path)
+    assert result["available"] is False
+    assert "disabled via REPRO_NATIVE" in result["status"]
+    assert result["total"] == 8
+    assert result["warnings"] == []
+
+
+def test_truncated_artifact_is_not_promoted(tmp_path, monkeypatch):
+    """A compiler that 'succeeds' but writes nothing must not poison the
+    hash-keyed cache entry (the mid-write failure mode)."""
+    from repro.rc4 import _native
+
+    fake_cc = tmp_path / "fake-cc"
+    fake_cc.write_text("#!/bin/sh\nexit 0\n")  # writes no output file
+    fake_cc.chmod(0o755)
+    monkeypatch.setenv("REPRO_NATIVE_CC", str(fake_cc))
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "cache"))
+    with pytest.raises(RuntimeError, match="compilation failed"):
+        _native._compile()
+    cache = tmp_path / "cache" / "repro-rc4"
+    assert not list(cache.glob("librc4stats-*.so"))
+
+
+def test_resolve_threads_env_and_clamps(monkeypatch):
+    from repro.rc4 import _native
+
+    monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+    assert _native.resolve_threads(None) == (os.cpu_count() or 1)
+    assert _native.resolve_threads(4) == 4
+    assert _native.resolve_threads(0) == 1
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "3")
+    assert _native.resolve_threads(None) == 3
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "not-a-number")
+    with pytest.raises(ValueError):
+        _native.resolve_threads(None)
+    # Private-counter scratch budget (4 GiB, matching the forked pool's
+    # historical cap): a 512 MiB counter caps threads at 8.
+    assert _native.resolve_threads(64, counter_bytes=512 << 20) == 8
+    assert _native.resolve_threads(64, counter_bytes=4 << 30) == 1
+
+
+def test_numpy_kernels_ignore_threads(rng, monkeypatch):
+    """The threads knob must be safe to pass when native is unavailable."""
+    from repro.datasets.generate import single_byte_counts
+    from repro.rc4 import _native
+
+    monkeypatch.setattr(_native, "available", lambda: False)
+    keys = rng.integers(0, 256, size=(8, 16), dtype=np.uint8)
+    a = single_byte_counts(keys, 5, threads=1)
+    b = single_byte_counts(keys, 5, threads=7)
+    assert np.array_equal(a, b)

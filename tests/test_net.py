@@ -11,7 +11,6 @@ from repro.net import (
     LlcSnapHeader,
     TcpHeader,
     internet_checksum,
-    tcp_checksum,
 )
 
 

@@ -6,7 +6,6 @@ the CRC, and completeness/order properties of candidate lists.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

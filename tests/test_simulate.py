@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import ReproConfig
 from repro.errors import DistributionError
 from repro.simulate import (
     AttackTimeline,

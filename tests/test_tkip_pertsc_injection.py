@@ -5,14 +5,12 @@ import pytest
 
 from repro.errors import DatasetError
 from repro.tkip import (
-    CaptureSet,
     InjectionCampaign,
     PerTscDistributions,
     TcpPacketSpec,
     TkipSession,
     default_tsc_space,
     generate_per_tsc,
-    public_key_bytes,
 )
 
 TA = bytes.fromhex("105fb0e09f60")
