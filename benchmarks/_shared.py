@@ -1,9 +1,11 @@
 """Shared helpers for the benchmark harness (not a test module).
 
-Keystream statistics run through the library's dataset engine
-(:func:`repro.datasets.generate_dataset`): fused generate-and-count
-kernels plus shared-memory shard reduction — the same code path the
-library exposes, so benchmark numbers measure what users get.  Only the
+Keystream statistics run through the library's Session facade
+(:meth:`repro.api.Session.dataset` -> fused generate-and-count kernels
+plus shared-memory shard reduction) — the same orchestration path every
+other consumer uses, so benchmark numbers measure what users get.  Each
+call builds a fresh session (no disk cache), so repeated benchmark
+rounds keep regenerating rather than timing a cache hit.  Only the
 statistics post-processing (z-scores, pooled LLR) lives here.
 """
 
@@ -11,8 +13,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import Session
 from repro.config import ReproConfig
-from repro.datasets import DatasetSpec, generate_dataset
+from repro.datasets import DatasetSpec
 
 
 def parallel_fm_matches(
@@ -51,7 +54,7 @@ def parallel_fm_matches(
         gap=0,
         label=label,
     )
-    counts = generate_dataset(spec, config, processes=processes)
+    counts = Session(config).dataset(spec, processes=processes)
 
     i_of_row = (drop + np.arange(stream_len) + 1) % 256
     matches = np.zeros(num_rules, dtype=np.int64)

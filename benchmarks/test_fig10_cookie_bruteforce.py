@@ -7,7 +7,7 @@ ciphertexts (256 simulations per point); 94% within 2^23 candidates at
 
 Reproduction: the identical pipeline — FM + ABSAB likelihoods, Algorithm
 2 restricted to the 90-character RFC 6265 alphabet — with scaled
-candidate budgets and trial counts (statistic-level sampling; DESIGN.md).
+candidate budgets and trial counts (statistic-level sampling; see repro.simulate).
 Shape requirements: candidate-list success dominates top-1 everywhere
 and rises with ciphertexts.
 """

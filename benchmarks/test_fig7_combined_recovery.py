@@ -6,7 +6,7 @@ ABSAB biases (eq 25); 2048 simulations per point over 2^27..2^39
 ciphertexts.  Combination wins by orders of magnitude.
 
 Reproduction: identical methodology (sufficient-statistic sampling; see
-DESIGN.md) at scaled N and trial counts.  The required qualitative
+repro.simulate) at scaled N and trial counts.  The required qualitative
 shape: combined >= FM-only >= single-ABSAB at every N, with the combined
 curve reaching high success within the sweep.
 """

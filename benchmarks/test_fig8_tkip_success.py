@@ -5,7 +5,7 @@ using only the two best candidates, over 1..15 x 2^20 captures (256
 simulations per point).  The candidate list dominates top-2 everywhere.
 
 Reproduction: identical pipeline over a scaled TSC subspace and capture
-counts (sampled sufficient statistics; DESIGN.md).  Shape requirements:
+counts (sampled sufficient statistics; see repro.simulate).  Shape requirements:
 success non-decreasing in captures, and candidate list >= top-2 at every
 point.
 """

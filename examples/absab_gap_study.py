@@ -1,57 +1,43 @@
 #!/usr/bin/env python3
 """Mantin's ABSAB bias vs gap length (paper §4.2).
 
-Measures Pr[(Z_r, Z_r+1) = (Z_r+g+2, Z_r+g+3)] in real RC4 keystream for
-several gaps and compares with the alpha(g) model of eq 1/18, pooling
-over positions deep in the keystream.  The paper confirmed the bias to
-gaps >= 135 and noted eq 1 slightly underestimates reality; the attacks
-cap gaps at 128.
+Runs the registered ``absab-gap`` experiment: measures
+Pr[(Z_r, Z_r+1) = (Z_r+g+2, Z_r+g+3)] in real RC4 keystream for several
+gaps and compares with the alpha(g) model of eq 1/18, pooling over
+positions deep in the keystream.  The paper confirmed the bias to gaps
+>= 135 and noted eq 1 slightly underestimates reality; the attacks cap
+gaps at 128.
 
 Run:  python examples/absab_gap_study.py          (REPRO_SCALE to enlarge)
 """
 
-import numpy as np
-
 from repro.analysis import ascii_curve
-from repro.biases import absab_alpha
-from repro.config import get_config
-from repro.rc4 import batch_keystream
-from repro.rc4.keygen import derive_keys
+from repro.api import Session
 
 
 def main() -> None:
-    config = get_config()
-    num_keys = config.scaled(48, maximum=2048)
-    stream_len = config.scaled(1 << 13, maximum=1 << 17)
-    gaps = [0, 2, 8, 32, 128]
+    session = Session()
+    result = session.run("absab-gap")
+    num_keys = result.params["num_keys"]
+    stream_len = result.params["stream_len"]
 
     print(f"== ABSAB digraph repetition: {num_keys} keys x "
           f"{stream_len} bytes ==")
-    keys = derive_keys(config, "absab-study", num_keys)
-    stream = batch_keystream(keys, stream_len, drop=1024).astype(np.int32)
-    digraphs = (stream[:, :-1] << 8) | stream[:, 1:]
-
-    measured, modeled = [], []
-    for gap in gaps:
-        a = digraphs[:, : -(gap + 2)]
-        b = digraphs[:, gap + 2 :]
-        matches = int((a == b).sum())
-        trials = a.size
-        p_hat = matches / trials
-        alpha = absab_alpha(gap)
-        z = (matches - trials * alpha) / np.sqrt(trials * alpha)
-        measured.append(p_hat * 2**16)
-        modeled.append(alpha * 2**16)
-        print(f"  g={gap:>3}: measured 2^16*p = {p_hat * 2**16:.5f}   "
-              f"model {alpha * 2**16:.5f}   z={z:+.2f}   "
+    for row in result.metrics["gaps"]:
+        print(f"  g={row['gap']:>3}: measured 2^16*p = "
+              f"{row['measured_scaled']:.5f}   "
+              f"model {row['model_scaled']:.5f}   z={row['z']:+.2f}   "
               f"(uniform = 1.00000)")
 
+    gaps = [row["gap"] for row in result.metrics["gaps"]]
     print("\nrelative bias vs gap (x: gap, y: 2^16*p - 1):")
     print(ascii_curve(
         gaps,
         {
-            "measured": [m - 1.0 for m in measured],
-            "model": [m - 1.0 for m in modeled],
+            "measured": [row["measured_scaled"] - 1.0
+                         for row in result.metrics["gaps"]],
+            "model": [row["model_scaled"] - 1.0
+                      for row in result.metrics["gaps"]],
         },
         width=48, height=10,
     ))

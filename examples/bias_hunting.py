@@ -1,74 +1,56 @@
 #!/usr/bin/env python3
 """Bias hunting with hypothesis tests, as in paper §3.
 
-Generates keystream statistics with the worker pool, then runs the
-detection pipeline: chi-squared uniformity scans per position, M-tests
-for pairwise dependence, per-cell proportion follow-ups, Holm-corrected.
+Runs the registered ``bias-hunt`` experiment through the Session facade:
+keystream statistics from the dataset engine, then the detection
+pipeline — chi-squared uniformity scans per position, M-tests for
+pairwise dependence, per-cell proportion follow-ups, Holm-corrected.
 At the default scale the strong short-term biases (Mantin-Shamir Z_2 = 0,
 the key-length bias Z_16 = 240, the Z_15/Z_16 pair of Table 2) surface;
-power analysis prints how many samples the weaker ones would need.
+the power analysis in the metrics shows how many samples the weaker
+ones would need.
 
 Run:  python examples/bias_hunting.py            (REPRO_SCALE to enlarge)
 """
 
-import time
-
-from repro.config import get_config
-from repro.datasets import DatasetSpec, generate_dataset
-from repro.stats import BiasDetector, detectable_relative_bias, required_samples
+from repro.api import Session
 
 
 def main() -> None:
-    config = get_config()
-    num_keys = config.scaled(1 << 19, maximum=1 << 26)
+    session = Session()
+    result = session.run("bias-hunt")
+    m = result.metrics
+    num_keys = result.params["num_keys"]
     print(f"== bias hunting over {num_keys} random 128-bit keys ==")
 
-    print("\n[1/3] single-byte uniformity scan (positions 1..32)...")
-    t0 = time.perf_counter()
-    spec = DatasetSpec(kind="single", num_keys=num_keys, positions=32,
-                       label="hunt-single")
-    counts = generate_dataset(spec, config)
-    detector = BiasDetector(alpha=1e-4)
-    report = detector.scan_single_bytes(counts)
-    print(f"      {time.perf_counter()-t0:.1f}s; biased positions: "
-          f"{report.biased_positions}")
-    for pos in report.biased_positions[:8]:
-        row = counts[pos - 1]
-        top = int(row.argmax())
-        print(f"      Z_{pos}: strongest value {top} "
-              f"p = {row[top] / row.sum():.6f} (uniform 0.003906)")
+    print("\n[1/3] single-byte uniformity scan "
+          f"(positions 1..{result.params['positions']})...")
+    print(f"      {result.timings['single-scan']:.1f}s; biased positions: "
+          f"{m['biased_positions']}")
+    for cell in m["strongest"]:
+        print(f"      Z_{cell['position']}: strongest value {cell['value']} "
+              f"p = {cell['probability']:.6f} (uniform 0.003906)")
 
-    print("\n[2/3] pairwise dependence scan (Z_15/Z_16, Z_31/Z_32, Z_1/Z_2)...")
-    t0 = time.perf_counter()
-    pair_spec = DatasetSpec(
-        kind="pairs", num_keys=num_keys,
-        pairs=((15, 16), (31, 32), (1, 2)), label="hunt-pairs",
+    pair_names = ", ".join(
+        f"Z_{a}/Z_{b}" for a, b in result.params["pairs"]
     )
-    tables = generate_dataset(pair_spec, config)
-    pair_report = detector.scan_pairs(tables, [(15, 16), (31, 32), (1, 2)])
-    print(f"      {time.perf_counter()-t0:.1f}s; dependent pairs: "
-          f"{pair_report.dependent_pairs}")
-    for cell in pair_report.cells[:10]:
-        sign = "+" if cell.relative_bias > 0 else "-"
-        print(f"      Z_{cell.positions[0]}={cell.values[0]} & "
-              f"Z_{cell.positions[1]}={cell.values[1]}: "
-              f"relative bias {sign}{abs(cell.relative_bias):.4f}")
+    print(f"\n[2/3] pairwise dependence scan ({pair_names})...")
+    print(f"      {result.timings['pair-scan']:.1f}s; dependent pairs: "
+          f"{[tuple(p) for p in m['dependent_pairs']]}")
+    for cell in m["cells"]:
+        (a, b), (x, y) = cell["positions"], cell["values"]
+        sign = "+" if cell["relative_bias"] > 0 else "-"
+        print(f"      Z_{a}={x} & Z_{b}={y}: "
+              f"relative bias {sign}{abs(cell['relative_bias']):.4f}")
 
     print("\n[3/3] power analysis: what this scale can and cannot see")
-    rows = [
-        ("Mantin-Shamir Z2=0 (q=1, p=2^-8)", 2.0**-8, 1.0),
-        ("key-length Z16=240 (q~2^-4.8)", 2.0**-8, 2.0**-4.8),
-        ("Table 2 w=1 pair (q~2^-4.9, p~2^-16)", 2.0**-15.95, -(2.0**-4.894)),
-        ("Fluhrer-McGrew cell (q=2^-8, p=2^-16)", 2.0**-16, 2.0**-8),
-    ]
-    for label, p, q in rows:
-        needed = required_samples(p, q)
-        status = "DETECTABLE" if needed <= num_keys else "needs more data"
-        print(f"      {label}: needs ~2^{needed.bit_length()-1} samples "
-              f"-> {status}")
-    q_min = detectable_relative_bias(2.0**-8, num_keys)
+    for row in m["power"]:
+        needed = row["needed_samples"]
+        status = "DETECTABLE" if row["detectable"] else "needs more data"
+        print(f"      {row['bias']}: needs ~2^{needed.bit_length() - 1} "
+              f"samples -> {status}")
     print(f"      smallest single-byte relative bias detectable here: "
-          f"{q_min:.5f}")
+          f"{m['min_detectable_relative_bias']:.5f}")
 
 
 if __name__ == "__main__":

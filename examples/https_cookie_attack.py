@@ -1,65 +1,52 @@
 #!/usr/bin/env python3
 """The full HTTPS cookie attack of paper §6, simulated end to end.
 
-Pipeline: cookie-jar manipulation over plain HTTP (isolate the secure
-cookie, inject known cookies, pad to 512-byte records) -> JavaScript-
-driven request generation -> Fluhrer-McGrew + ABSAB likelihoods ->
-Algorithm 2 over the RFC 6265 alphabet -> brute force against the server.
+Pipeline (inside the registered ``attack-https`` experiment): cookie-jar
+manipulation over plain HTTP (isolate the secure cookie, inject known
+cookies, pad to 512-byte records) -> JavaScript-driven request
+generation -> Fluhrer-McGrew + ABSAB likelihoods -> Algorithm 2 over the
+RFC 6265 alphabet -> brute force against the server.
 
 Ciphertext statistics come from the exact sufficient-statistic sampler
 (the paper's 9*2^27 requests took 75 hours on real hardware; the sampler
-is distribution-exact, see DESIGN.md).  A short cookie keeps the default
-run in seconds; scale up with REPRO_SCALE / cookie length.
+is distribution-exact).  A short cookie keeps the default run in
+seconds; scale up with REPRO_SCALE / ``--param cookie_len=16``.  Like
+the other examples, this narrates the shared ``attack-https`` registry
+entry — the same one ``python -m repro https`` runs.
 
 Run:  python examples/https_cookie_attack.py
 """
 
-import time
-
-from repro.config import get_config
-from repro.simulate import HttpsAttackSimulation, tls_timeline
-from repro.tls import PAPER_REQUEST_RATE
+from repro.api import Session
+from repro.tls import PAPER_REQUEST_RATE, PAPER_TEST_RATE
 
 
 def main() -> None:
-    config = get_config()
-    cookie_len = 3 if config.scale < 4 else 16
-    # Sufficient-statistic sampling costs O(cells), not O(N), so the
-    # ciphertext count never drops below the recovery threshold even at
-    # small REPRO_SCALE.
-    num_requests = config.scaled(1 << 29, minimum=1 << 29, maximum=9 * 2**27)
-    num_candidates = config.scaled(1 << 12, minimum=1 << 12, maximum=1 << 23)
-
+    stages = {"collect": "1/3", "candidates": "2/3"}
+    session = Session(progress=lambda event: print(
+        f"\n[{stages.get(event.stage, '?')}] {event.message}..."
+    ))
     print("== HTTPS secure-cookie attack (paper §6) ==")
-    sim = HttpsAttackSimulation(config, cookie_len=cookie_len, max_gap=128)
-    print(f"secret cookie (hidden):  {sim.secret.decode('latin-1')}")
-    print(f"request layout: {sim.layout.request_len} bytes "
-          f"(+20 MAC = {sim.layout.request_len + 20}, multiple of 256), "
-          f"cookie at positions {sim.layout.cookie_span}")
+    result = session.run("attack-https")
+    m = result.metrics
 
-    print(f"\n[1/3] collecting statistics from {num_requests} requests...")
-    timeline = tls_timeline(num_requests, candidates=num_candidates)
-    print(f"      equivalent victim time at {PAPER_REQUEST_RATE:.0f} req/s: "
-          f"{timeline.capture_hours:.1f} hours "
-          f"(paper: 75 h for 9*2^27 requests)")
-    t0 = time.perf_counter()
-    stats = sim.sampled_statistics(num_requests)
-    print(f"      {len(stats.absab_counts)} ABSAB alignments + "
-          f"{stats.fm_counts.shape[0]} FM transitions in "
-          f"{time.perf_counter() - t0:.1f}s")
+    print(f"\nrequest layout: {m['request_len']} bytes "
+          f"(+20 MAC = {m['request_len'] + 20}, multiple of 256), "
+          f"cookie at positions {tuple(m['cookie_span'])}")
+    print(f"collected {m['absab_alignments']} ABSAB alignments + "
+          f"{m['fm_transitions']} FM transitions in "
+          f"{result.timings['collect']:.1f}s "
+          f"(equivalent victim time at {PAPER_REQUEST_RATE:.0f} req/s: "
+          f"{m['capture_hours_equivalent']:.1f} hours; paper: 75 h)")
+    print(f"candidate generation took {result.timings['recover']:.1f}s")
 
-    print(f"\n[2/3] generating {num_candidates} candidates "
-          f"(Algorithm 2, 90-char RFC 6265 alphabet)...")
-    t0 = time.perf_counter()
-    result = sim.attack(stats, num_candidates=num_candidates)
-    print(f"      done in {time.perf_counter() - t0:.1f}s")
-
-    print(f"\n[3/3] brute force against the server oracle...")
-    print(f"      cookie found at rank {result.rank} "
-          f"after {result.attempts} attempts")
-    print(f"      brute-force wall clock at 20000 tests/s: "
-          f"{result.attempts / 20000:.2f}s (paper: <7 min for all 2^23)")
-    print(f"      recovered cookie: {result.cookie.decode('latin-1')}")
+    print("\n[3/3] brute force against the server oracle...")
+    print(f"      cookie found at rank {m['rank']} "
+          f"after {m['attempts']} attempts")
+    print(f"      brute-force wall clock at {PAPER_TEST_RATE:.0f} tests/s: "
+          f"{m['bruteforce_seconds_equivalent']:.2f}s "
+          f"(paper: <7 min for all 2^23)")
+    print(f"      recovered cookie: {m['cookie']}")
 
 
 if __name__ == "__main__":

@@ -1,63 +1,51 @@
 #!/usr/bin/env python3
-"""Quickstart: from a keystream bias to recovered plaintext in ~40 lines.
+"""Quickstart: from a keystream bias to recovered plaintext via the API.
 
 Demonstrates the broadcast-RC4 setting (Mantin-Shamir): the same plaintext
 byte is encrypted under many independent RC4 keys; the doubled probability
-of Z_2 = 0 leaks it.  We then upgrade to a multi-byte secret and walk the
-candidate list of Algorithm 1.
+of Z_2 = 0 leaks it.  The whole pipeline is one registered experiment —
+``recovery-broadcast`` — run through the :class:`repro.api.Session`
+facade, the same path the CLI uses (``python -m repro run
+recovery-broadcast``).
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.biases import single_byte_model
-from repro.config import get_config
-from repro.core import PlaintextRecovery
-from repro.rc4 import rc4_crypt
+from repro.api import Session
 
 
 def main() -> None:
-    config = get_config()
-    rng = config.rng("quickstart")
-    num_ciphertexts = config.scaled(1 << 15)
+    session = Session()
+    result = session.run("recovery-broadcast")
+    m = result.metrics
+    num = result.params["num_ciphertexts"]
 
     # --- 1. One byte via the Mantin-Shamir bias -------------------------
-    secret_byte = 0x42
-    positions = 4  # we encrypt 4 bytes; position 2 (1-indexed) is Z_2
-    plaintext = bytes([0x00, secret_byte, 0x00, 0x00])
-    counts = np.zeros((positions, 256), dtype=np.int64)
-    for _ in range(num_ciphertexts):
-        key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
-        ciphertext = rc4_crypt(key, plaintext)
-        for r in range(positions):
-            counts[r, ciphertext[r]] += 1
-
-    dists = np.stack([single_byte_model(r) for r in range(1, positions + 1)])
-    recovery = PlaintextRecovery(dists)
-    guess = recovery.most_likely(counts)
-    print(f"encrypted {num_ciphertexts} times under random keys")
-    print(f"secret byte at Z_2:    0x{secret_byte:02x}")
-    print(f"recovered (argmax):    0x{guess[1]:02x}")
-    assert guess[1] == secret_byte, "need more ciphertexts — raise REPRO_SCALE"
+    print(f"encrypted {num} times under random keys")
+    print(f"secret byte at Z_2:    0x{m['secret_byte']:02x}")
+    print(f"recovered (argmax):    0x{m['recovered_byte']:02x}")
+    assert m["byte_correct"], "need more ciphertexts — raise REPRO_SCALE"
 
     # --- 2. Candidate lists (paper Algorithm 1) -------------------------
     # The full 4-byte recovery won't nail every position (only Z_2 has a
     # strong bias at this sample count) — but the true plaintext appears
     # in the ranked candidate list, which is what the attacks exploit.
-    candidates, scores = recovery.candidates(counts, 64)
-    rank = candidates.index(plaintext) if plaintext in candidates else None
-    print(f"\ntop-3 candidates: {[c.hex() for c in candidates[:3]]}")
-    print(f"true plaintext rank in top-64: {rank}")
+    print(f"\ntop-3 candidates: {m['top_candidates']}")
+    print(f"true plaintext rank in top-{result.params['list_size']}: "
+          f"{m['candidate_rank']}")
 
     # --- 3. Streaming enumeration ---------------------------------------
-    for i, (cand, score) in enumerate(recovery.iter_candidates(counts)):
-        if cand == plaintext:
-            print(f"lazy enumerator found the plaintext at rank {i}")
-            break
-        if i >= 4095:
-            print("plaintext beyond rank 4096 (expected at low sample counts)")
-            break
+    if m["lazy_rank"] is not None:
+        print(f"lazy enumerator found the plaintext at rank {m['lazy_rank']}")
+    else:
+        print(f"plaintext beyond rank {result.params['lazy_limit']} "
+              "(expected at low sample counts)")
+
+    # Every run is a uniform, machine-readable record:
+    print(f"\nresult record: {result.experiment} "
+          f"ran in {result.timings['total']:.2f}s "
+          f"(seed {result.provenance['seed']}, "
+          f"scale {result.provenance['scale']})")
 
 
 if __name__ == "__main__":

@@ -1,78 +1,52 @@
 #!/usr/bin/env python3
 """The full WPA-TKIP attack of paper §5, simulated end to end.
 
-Pipeline: build a TKIP network (real key mixing, Michael, CRC, RC4) ->
-inject identical TCP packets -> capture per-TSC ciphertext statistics ->
-single-byte likelihoods -> candidate list with CRC pruning -> invert
-Michael -> forge a packet with the recovered MIC key.
+Pipeline (inside the registered ``attack-tkip`` experiment): build a
+TKIP network (real key mixing, Michael, CRC, RC4) -> inject identical
+TCP packets -> capture per-TSC ciphertext statistics -> single-byte
+likelihoods -> candidate list with CRC pruning -> invert Michael ->
+forge a packet with the recovered MIC key.
 
-The per-TSC keystream maps use a scaled TSC subspace (the paper burned 10
-CPU-years on the full map; see DESIGN.md).  Captures are drawn with the
-exact sufficient-statistic sampler so the example finishes in seconds.
+The per-TSC keystream maps use a scaled TSC subspace (the paper burned
+10 CPU-years on the full map; the substitution is documented in the
+ROADMAP).  Captures are drawn with the exact sufficient-statistic
+sampler so the example finishes in seconds.  This script is a narrated
+subscriber to the Session's progress events — the orchestration itself
+lives in the registry, shared with ``python -m repro tkip``.
 
 Run:  python examples/wpa_tkip_attack.py          (REPRO_SCALE to enlarge)
 """
 
-import time
-
-from repro.config import get_config
-from repro.simulate import WifiAttackSimulation, sampled_capture, tkip_timeline
-from repro.tkip import default_tsc_space, generate_per_tsc, parse_msdu_data
+from repro.api import Session
 
 
 def main() -> None:
-    config = get_config()
-    num_tsc = config.scaled(8, maximum=256)
-    keys_per_tsc = config.scaled(1 << 12, maximum=1 << 18)
-    packets_per_tsc = config.scaled(1 << 12, maximum=1 << 20)
-
+    stages = {"per-tsc": "1/4", "capture": "2/4", "recover": "3/4",
+              "forge": "4/4"}
+    session = Session(progress=lambda event: print(
+        f"\n[{stages.get(event.stage, '?')}] {event.message}..."
+    ))
     print("== WPA-TKIP attack (paper §5) ==")
-    sim = WifiAttackSimulation(config)
-    plaintext = sim.true_plaintext
-    print(f"victim MIC key (hidden):  {sim.victim.mic_key.hex()}")
-    print(f"injected packet: {len(plaintext)} bytes protected "
-          f"(48 headers + 7 payload + 8 MIC + 4 ICV)")
+    result = session.run("attack-tkip")
+    m = result.metrics
 
-    print(f"\n[1/4] measuring per-TSC keystream distributions "
-          f"({num_tsc} TSC values x 2^{keys_per_tsc.bit_length()-1} keys)...")
-    t0 = time.perf_counter()
-    per_tsc = generate_per_tsc(
-        config, default_tsc_space(num_tsc), keys_per_tsc, length=len(plaintext)
-    )
-    print(f"      done in {time.perf_counter() - t0:.1f}s")
-
-    total_packets = num_tsc * packets_per_tsc
-    print(f"\n[2/4] capturing {total_packets} identical-packet encryptions "
-          f"(sufficient-statistic sampler)...")
-    timeline = tkip_timeline(total_packets)
-    print(f"      equivalent on-air time at 2500 pkts/s: "
-          f"{timeline.capture_hours:.2f} hours "
+    print(f"\nper-TSC measurement took {result.timings['per-tsc']:.1f}s; "
+          f"equivalent on-air time at 2500 pkts/s: "
+          f"{m['capture_hours_equivalent']:.2f} hours "
           f"(paper: ~1 hour for 9.5*2^20 packets)")
-    capture = sampled_capture(
-        per_tsc, plaintext, range(1, len(plaintext) + 1),
-        packets_per_tsc=packets_per_tsc, seed=config.rng("example-capture"),
-    )
+    print(f"first CRC-valid candidate at rank {m['candidate_rank']} "
+          f"({result.timings['recover']:.1f}s)")
+    print(f"recovered MIC: {m['mic']}  correct: {m['correct']}")
+    print(f"recovered MIC key: {m['mic_key']}")
 
-    print("\n[3/4] decrypting MIC+ICV via candidate list + CRC pruning...")
-    t0 = time.perf_counter()
-    result = sim.attack(capture, per_tsc, max_candidates=1 << 20)
-    print(f"      first CRC-valid candidate at rank {result.candidates_tried} "
-          f"({time.perf_counter() - t0:.1f}s)")
-    print(f"      recovered MIC: {result.mic.hex()}  correct: {result.correct}")
-    print(f"      recovered MIC key: {result.mic_key.hex()}")
-
-    print("\n[4/4] forging a packet with the recovered MIC key...")
-    frame = sim.forge_frame(result.mic_key, b"0wned by rc4biases")
-    from repro.tkip import TkipSession
-
-    receiver = TkipSession(tk=sim.victim.tk, mic_key=sim.victim.mic_key,
-                           ta=sim.victim.ta)
-    receiver.replay_window = frame.tsc - 1
-    data = receiver.decapsulate(frame)
-    _, ip, tcp, payload = parse_msdu_data(data)
-    print(f"      victim accepted forged TCP packet: "
-          f"{ip.source}:{tcp.source_port} -> {ip.destination}:{tcp.dest_port} "
-          f"payload={payload!r}")
+    if m["forged"] is not None:
+        forged = m["forged"]
+        print(f"victim accepted forged TCP packet: "
+              f"{forged['source']} -> {forged['destination']} "
+              f"payload={forged['payload']!r}")
+    else:
+        print("no forgery attempted (MIC key not recovered) — "
+              "raise REPRO_SCALE")
 
 
 if __name__ == "__main__":

@@ -1,7 +1,11 @@
 """repro — reproduction of Vanhoef & Piessens' RC4 attacks on WPA-TKIP and TLS.
 
-The package is organised by subsystem (see DESIGN.md for the full
-inventory):
+The package is organised by subsystem (``python -m repro info`` prints
+the live inventory; README.md documents usage):
+
+- :mod:`repro.api` — the unified experiment API: a declarative registry
+  of every reproducible unit and the :class:`repro.api.Session` facade
+  that the CLI, the examples, and the benchmarks all drive.
 
 - :mod:`repro.rc4` — the cipher, reference and vectorised batch forms.
 - :mod:`repro.stats` — hypothesis-testing framework for bias hunting.

@@ -1,86 +1,169 @@
 """Command-line entry point: ``python -m repro <command>``.
 
-Commands:
-    info    print version, subsystem inventory, and scale configuration
-    tkip    run the scaled WPA-TKIP attack end to end (paper §5)
-    https   run the scaled HTTPS cookie attack end to end (paper §6)
+Every command drives the unified experiment API (:mod:`repro.api`):
 
-Both attacks honour ``REPRO_SCALE`` / ``REPRO_SEED`` and the ``--scale``
-/ ``--seed`` flags, and print the same paper-aligned progress the
-examples do (see examples/ for the fully narrated versions).
+    list [--json]                 enumerate the experiment registry
+    run <experiment> [--param k=v ...] [--json PATH|-]
+                                  run any registered experiment
+    info [--json]                 version, config, backend, registry inventory
+    tkip / https                  thin aliases for run attack-tkip / attack-https
+
+Global flags ``--scale`` / ``--seed`` / ``--threads`` override the
+``REPRO_SCALE`` / ``REPRO_SEED`` / ``REPRO_NATIVE_THREADS`` environment
+defaults.  ``run --json -`` prints the canonical
+:class:`~repro.api.ExperimentResult` JSON to stdout (machine-readable:
+``from_json`` round-trips it bit-identically).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
 from . import __version__
+from .api import (
+    ExperimentSpec,
+    ProgressEvent,
+    Session,
+    list_experiments,
+)
 from .config import ReproConfig, get_config
+from .errors import ReproError
 
 
 def _build_config(args: argparse.Namespace) -> ReproConfig:
     base = get_config()
-    return ReproConfig(
-        scale=args.scale if args.scale is not None else base.scale,
-        seed=args.seed if args.seed is not None else base.seed,
-    )
+    replacements = {}
+    if args.scale is not None:
+        replacements["scale"] = args.scale
+    if args.seed is not None:
+        replacements["seed"] = args.seed
+    if getattr(args, "threads", None) is not None:
+        replacements["native_threads"] = args.threads
+    return dataclasses.replace(base, **replacements)
+
+
+def _print_progress(event: ProgressEvent) -> None:
+    # stderr, so `run --json -` keeps stdout purely machine-readable.
+    print(f"[{event.experiment}/{event.stage}] {event.message}", file=sys.stderr)
+
+
+def _parse_params(pairs: list[str]) -> dict[str, str]:
+    overrides: dict[str, str] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ReproError(
+                f"--param expects name=value, got {pair!r}"
+            )
+        overrides[name] = value
+    return overrides
+
+
+def _format_metric(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return repr(value) if isinstance(value, str) else str(value)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = list_experiments()
+    if args.json:
+        print(json.dumps([spec.describe() for spec in specs], indent=2))
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    print(f"{len(specs)} registered experiments "
+          f"(run with: python -m repro run <name>):")
+    for spec in specs:
+        section = f"{spec.section:>5}" if spec.section else "     "
+        print(f"  {spec.name:<{width}}  {section}  {spec.description}")
+    return 0
+
+
+def _describe_params(spec: ExperimentSpec) -> str:
+    names = [param.name for param in spec.params]
+    return ", ".join(names) if names else "(none)"
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    session = Session(config, cache_dir=args.cache_dir)
+    if not args.quiet:
+        session.add_progress(_print_progress)
+    overrides = _parse_params(args.param or [])
+    result = session.run(args.experiment, **overrides)
+    if args.json == "-":
+        print(result.to_json())
+    else:
+        if args.json:
+            result.save(args.json)
+        print(f"{result.experiment}: done in {result.timings['total']:.2f}s")
+        for key, value in result.metrics.items():
+            print(f"  {key}: {_format_metric(value)}")
+        if args.json:
+            print(f"  (result JSON written to {args.json})")
+    # Attacks report success; propagate it like the old tkip command did.
+    correct = result.metrics.get("correct")
+    return 0 if correct in (None, True) else 1
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    from .rc4 import _native
+
     config = _build_config(args)
+    specs = list_experiments()
+    if args.json:
+        print(json.dumps(
+            {
+                "version": __version__,
+                "scale": config.scale,
+                "seed": config.seed,
+                "native": config.native,
+                "native_threads": config.native_threads,
+                "backend": _native.status(),
+                "experiments": [spec.describe() for spec in specs],
+            },
+            indent=2,
+        ))
+        return 0
     print(f"repro {__version__} — RC4 biases / WPA-TKIP / TLS reproduction")
     print(f"scale={config.scale} seed={config.seed}")
+    print(f"backend: {_native.status()}")
     print("subsystems: rc4, stats, biases, datasets, core, net, tkip, tls, "
-          "simulate, analysis")
-    print("docs: README.md (usage), DESIGN.md (inventory), "
-          "EXPERIMENTS.md (paper vs measured)")
+          "simulate, analysis, api")
+    print(f"experiments ({len(specs)} registered):")
+    for spec in specs:
+        print(f"  {spec.name}: {spec.description} "
+              f"[params: {_describe_params(spec)}]")
+    print("docs: README.md (usage + Experiment API), ROADMAP.md "
+          "(architecture), PAPER.md (source paper abstract)")
     return 0
 
 
 def _cmd_tkip(args: argparse.Namespace) -> int:
-    from .simulate import WifiAttackSimulation, sampled_capture
-    from .tkip import default_tsc_space, generate_per_tsc
-
+    """Alias for ``run attack-tkip`` with the classic two-line summary."""
     config = _build_config(args)
-    sim = WifiAttackSimulation(config)
-    plaintext = sim.true_plaintext
-    num_tsc = config.scaled(8, maximum=256)
-    keys_per_tsc = config.scaled(1 << 12, maximum=1 << 18)
-    per_tsc = generate_per_tsc(
-        config, default_tsc_space(num_tsc), keys_per_tsc, length=len(plaintext)
-    )
-    capture = sampled_capture(
-        per_tsc,
-        plaintext,
-        range(1, len(plaintext) + 1),
-        packets_per_tsc=config.scaled(1 << 12, minimum=1 << 10, maximum=1 << 20),
-        seed=config.rng("cli-tkip"),
-    )
-    result = sim.attack(capture, per_tsc, max_candidates=1 << 20)
-    print(f"captures: {capture.num_captured}  "
-          f"candidate rank: {result.candidates_tried}  "
-          f"correct: {result.correct}")
-    print(f"recovered MIC key: {result.mic_key.hex()}")
-    return 0 if result.correct else 1
+    session = Session(config)
+    result = session.run("attack-tkip")
+    m = result.metrics
+    print(f"captures: {m['captures']}  "
+          f"candidate rank: {m['candidate_rank']}  "
+          f"correct: {m['correct']}")
+    print(f"recovered MIC key: {m['mic_key']}")
+    return 0 if m["correct"] else 1
 
 
 def _cmd_https(args: argparse.Namespace) -> int:
-    from .simulate import HttpsAttackSimulation
-
+    """Alias for ``run attack-https`` with the classic two-line summary."""
     config = _build_config(args)
-    cookie_len = 3 if config.scale < 4 else 16
-    sim = HttpsAttackSimulation(config, cookie_len=cookie_len, max_gap=128)
-    stats = sim.sampled_statistics(
-        config.scaled(1 << 29, minimum=1 << 29, maximum=9 * 2**27)
-    )
-    result = sim.attack(
-        stats,
-        num_candidates=config.scaled(1 << 12, minimum=1 << 12, maximum=1 << 23),
-    )
-    print(f"requests: {result.num_requests}  rank: {result.rank}  "
-          f"attempts: {result.attempts}")
-    print(f"recovered cookie: {result.cookie.decode('latin-1')}")
+    session = Session(config)
+    result = session.run("attack-https")
+    m = result.metrics
+    print(f"requests: {m['num_requests']}  rank: {m['rank']}  "
+          f"attempts: {m['attempts']}")
+    print(f"recovered cookie: {m['cookie']}")
     return 0
 
 
@@ -94,18 +177,45 @@ def main(argv: list[str] | None = None) -> int:
                         help="sample-count multiplier (overrides REPRO_SCALE)")
     parser.add_argument("--seed", type=int, default=None,
                         help="master seed (overrides REPRO_SEED)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="native kernel threads "
+                        "(overrides REPRO_NATIVE_THREADS)")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("info", help="version and inventory").set_defaults(
-        func=_cmd_info
-    )
-    sub.add_parser("tkip", help="run the scaled §5 attack").set_defaults(
-        func=_cmd_tkip
-    )
-    sub.add_parser("https", help="run the scaled §6 attack").set_defaults(
-        func=_cmd_https
-    )
+
+    p_list = sub.add_parser("list", help="enumerate registered experiments")
+    p_list.add_argument("--json", action="store_true",
+                        help="machine-readable registry dump")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run a registered experiment")
+    p_run.add_argument("experiment", help="registry name (see: list)")
+    p_run.add_argument("--param", action="append", metavar="NAME=VALUE",
+                       help="override an experiment parameter (repeatable)")
+    p_run.add_argument("--json", metavar="PATH", default=None,
+                       help="write the ExperimentResult JSON to PATH "
+                       "('-' prints it to stdout)")
+    p_run.add_argument("--cache-dir", default=None,
+                       help="on-disk dataset cache directory")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress progress output")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_info = sub.add_parser("info", help="version, config, and inventory")
+    p_info.add_argument("--json", action="store_true",
+                        help="machine-readable info dump")
+    p_info.set_defaults(func=_cmd_info)
+
+    sub.add_parser("tkip", help="run the scaled §5 attack "
+                   "(alias: run attack-tkip)").set_defaults(func=_cmd_tkip)
+    sub.add_parser("https", help="run the scaled §6 attack "
+                   "(alias: run attack-https)").set_defaults(func=_cmd_https)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

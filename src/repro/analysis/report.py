@@ -1,7 +1,7 @@
 """Textual result reporting in the paper's notation.
 
 Benchmarks print measured probabilities next to the paper's, in the same
-``2^a (1 ± 2^b)`` notation the tables use, so EXPERIMENTS.md rows can be
+``2^a (1 ± 2^b)`` notation the tables use, so paper-vs-measured rows can be
 read against the original directly.
 """
 

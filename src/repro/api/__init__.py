@@ -1,0 +1,50 @@
+"""Unified experiment API: registry + Session facade (the orchestration layer).
+
+Every reproducible unit in this repo is a registered
+:class:`ExperimentSpec`; a :class:`Session` runs any of them by name and
+returns a uniform, JSON-serialisable :class:`ExperimentResult`.  The CLI
+(``python -m repro``), the examples, and the benchmarks all drive this
+one surface, so adding a scenario is a single decorated function — no
+copy-pasted orchestration:
+
+    >>> from repro.api import Session
+    >>> session = Session()                       # config from the environment
+    >>> result = session.run("dataset-single", num_keys=1 << 14)
+    >>> result.metrics["strongest_cells"][0]["position"]
+    2
+    >>> text = result.to_json()                   # canonical, deterministic
+    >>> from repro.api import ExperimentResult
+    >>> ExperimentResult.from_json(text).to_json() == text
+    True
+
+Importing this package populates the registry (the experiment catalogue
+lives in :mod:`repro.api.experiments`).
+"""
+
+from .registry import (
+    Param,
+    ExperimentSpec,
+    experiment,
+    get_experiment,
+    list_experiments,
+    register,
+)
+from .result import RESULT_FORMAT_VERSION, ExperimentResult
+from .session import ProgressEvent, RunContext, Session
+
+# Populate the registry: importing the catalogue runs its decorators.
+from . import experiments as _experiments  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Param",
+    "ProgressEvent",
+    "RESULT_FORMAT_VERSION",
+    "RunContext",
+    "Session",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "register",
+]

@@ -1,0 +1,626 @@
+"""The registered experiment catalogue.
+
+One decorated function per reproducible unit, mirroring the paper's
+result matrix:
+
+- ``dataset-*`` — the five keystream-statistics dataset kinds (§3.2);
+- ``bias-hunt`` — hypothesis-test bias detection plus power analysis (§3.1);
+- ``recovery-broadcast`` — broadcast plaintext recovery via the
+  Mantin-Shamir bias and Algorithm 1 candidates (§4.1);
+- ``absab-gap`` — Mantin's ABSAB bias vs gap length against the
+  alpha(g) model (§4.2);
+- ``attack-tkip`` / ``attack-https`` — the two end-to-end attacks
+  (§5 / §6), statistic-level sampling, real recovery machinery.
+
+Implementations receive a :class:`~repro.api.session.RunContext` and
+return a JSON-able metrics dict; parameters are declared on the spec so
+the CLI, the examples, and the tests share one schema.  Keep metrics
+small — counters belong in the dataset cache, not in result records.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..biases import absab_alpha, single_byte_model
+from ..core import PlaintextRecovery
+from ..datasets.manager import DatasetSpec
+from ..errors import ExperimentParamError
+from ..rc4.batch import batch_keystream
+from ..rc4.keygen import derive_keys
+from ..stats import BiasDetector, detectable_relative_bias, required_samples
+from .registry import Param, experiment
+
+UNIFORM_BYTE = 1.0 / 256.0
+
+
+# --------------------------------------------------------------------------
+# §3.2 — the five dataset kinds
+# --------------------------------------------------------------------------
+
+
+def _top_cells_2d(counts: np.ndarray, limit: int = 5) -> list[dict[str, Any]]:
+    """Strongest single-byte cells of a ``(positions, 256)`` counter."""
+    totals = counts.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rel = np.where(totals > 0, counts / totals * 256.0 - 1.0, 0.0)
+    flat = np.argsort(-np.abs(rel), axis=None)[:limit]
+    cells = []
+    for index in flat:
+        r, v = divmod(int(index), 256)
+        total = int(totals[r, 0])
+        cells.append(
+            {
+                "position": r + 1,
+                "value": v,
+                "probability": float(counts[r, v] / total) if total else 0.0,
+                "relative_bias": float(rel[r, v]),
+            }
+        )
+    return cells
+
+
+def _top_digraph_cells(
+    counts: np.ndarray, rows: list[Any], limit: int = 5
+) -> list[dict[str, Any]]:
+    """Strongest digraph cells of an ``(rows, 256, 256)`` counter."""
+    candidates = []
+    for index, row_label in enumerate(rows):
+        table = counts[index]
+        total = int(table.sum())
+        if total == 0:
+            continue
+        rel = table / total * 65536.0 - 1.0
+        for flat in np.argsort(-np.abs(rel), axis=None)[:limit]:
+            a, b = divmod(int(flat), 256)
+            candidates.append(
+                {
+                    "row": row_label,
+                    "values": (a, b),
+                    "probability": float(table[a, b] / total),
+                    "relative_bias": float(rel[a, b]),
+                }
+            )
+    candidates.sort(key=lambda cell: -abs(cell["relative_bias"]))
+    return candidates[:limit]
+
+
+def _run_dataset(ctx, spec: DatasetSpec) -> np.ndarray:
+    ctx.emit(
+        "generate",
+        f"generating {spec.kind} dataset over {spec.num_keys} keys",
+        num_keys=spec.num_keys,
+    )
+    with ctx.timer("generate"):
+        return ctx.dataset(spec)
+
+
+@experiment(
+    "dataset-single",
+    description="Single-byte keystream distributions Pr[Z_r = k]",
+    section="§3.2",
+    params=(
+        Param("num_keys", scaled=1 << 16, maximum=1 << 26,
+              help="independent RC4 keys to count"),
+        Param("positions", default=32, help="leading keystream positions"),
+    ),
+)
+def _dataset_single(ctx) -> dict[str, Any]:
+    p = ctx.params
+    spec = DatasetSpec(
+        kind="single", num_keys=p["num_keys"], positions=p["positions"],
+        label="api-single",
+    )
+    counts = _run_dataset(ctx, spec)
+    return {
+        "kind": "single",
+        "shape": counts.shape,
+        "total_counts": int(counts.sum()),
+        "strongest_cells": _top_cells_2d(counts),
+    }
+
+
+@experiment(
+    "dataset-consec",
+    description="Consecutive digraph distributions Pr[(Z_r, Z_r+1)]",
+    section="§3.2",
+    params=(
+        Param("num_keys", scaled=1 << 14, maximum=1 << 24),
+        Param("positions", default=16, help="leading digraph positions"),
+    ),
+)
+def _dataset_consec(ctx) -> dict[str, Any]:
+    p = ctx.params
+    spec = DatasetSpec(
+        kind="consec", num_keys=p["num_keys"], positions=p["positions"],
+        label="api-consec",
+    )
+    counts = _run_dataset(ctx, spec)
+    return {
+        "kind": "consec",
+        "shape": counts.shape,
+        "total_counts": int(counts.sum()),
+        "strongest_cells": _top_digraph_cells(
+            counts, [r + 1 for r in range(counts.shape[0])]
+        ),
+    }
+
+
+@experiment(
+    "dataset-pairs",
+    description="Joint distributions of selected position pairs (Z_a, Z_b)",
+    section="§3.2",
+    params=(
+        Param("num_keys", scaled=1 << 16, maximum=1 << 24),
+        Param("pairs", kind="pairs", default=((1, 2), (15, 16), (31, 32)),
+              help="position pairs a:b, comma-separated"),
+    ),
+)
+def _dataset_pairs(ctx) -> dict[str, Any]:
+    p = ctx.params
+    spec = DatasetSpec(
+        kind="pairs", num_keys=p["num_keys"], pairs=tuple(p["pairs"]),
+        label="api-pairs",
+    )
+    counts = _run_dataset(ctx, spec)
+    return {
+        "kind": "pairs",
+        "shape": counts.shape,
+        "total_counts": int(counts.sum()),
+        "strongest_cells": _top_digraph_cells(counts, list(p["pairs"])),
+    }
+
+
+@experiment(
+    "dataset-equality",
+    description="Equality events Pr[Z_a = Z_b] for selected pairs",
+    section="§3.2",
+    params=(
+        Param("num_keys", scaled=1 << 16, maximum=1 << 24),
+        Param("pairs", kind="pairs", default=((1, 2), (15, 16)),
+              help="position pairs a:b, comma-separated"),
+    ),
+)
+def _dataset_equality(ctx) -> dict[str, Any]:
+    p = ctx.params
+    spec = DatasetSpec(
+        kind="equality", num_keys=p["num_keys"], pairs=tuple(p["pairs"]),
+        label="api-equality",
+    )
+    counts = _run_dataset(ctx, spec)
+    rows = []
+    for (a, b), (equal, trials) in zip(p["pairs"], counts):
+        probability = float(equal / trials) if trials else 0.0
+        rows.append(
+            {
+                "positions": (a, b),
+                "probability": probability,
+                "relative_bias": probability / UNIFORM_BYTE - 1.0,
+            }
+        )
+    return {
+        "kind": "equality",
+        "shape": counts.shape,
+        "total_counts": int(counts.sum()),
+        "pairs": rows,
+    }
+
+
+@experiment(
+    "dataset-longterm",
+    description="Counter-binned long-term digraph distributions (drop 1023)",
+    section="§3.2",
+    params=(
+        Param("num_keys", scaled=64, maximum=1 << 12),
+        Param("stream_len", scaled=1 << 12, maximum=1 << 16,
+              help="digraphs contributed per key"),
+        Param("drop", default=1023, help="initial keystream bytes to drop"),
+        Param("gap", default=0, help="digraph gap (0 = FM, 1 = w*256 pairs)"),
+    ),
+)
+def _dataset_longterm(ctx) -> dict[str, Any]:
+    p = ctx.params
+    spec = DatasetSpec(
+        kind="longterm", num_keys=p["num_keys"], stream_len=p["stream_len"],
+        drop=p["drop"], gap=p["gap"], label="api-longterm",
+    )
+    counts = _run_dataset(ctx, spec)
+    return {
+        "kind": "longterm",
+        "shape": counts.shape,
+        "total_counts": int(counts.sum()),
+        "strongest_cells": _top_digraph_cells(
+            counts, [f"i={i}" for i in range(counts.shape[0])], limit=5
+        ),
+    }
+
+
+# --------------------------------------------------------------------------
+# §3.1 — bias detection
+# --------------------------------------------------------------------------
+
+#: Reference biases for the power analysis: (label, cell probability p,
+#: relative bias q) exactly as the paper states them.
+POWER_ROWS = (
+    ("Mantin-Shamir Z2=0 (q=1, p=2^-8)", 2.0 ** -8, 1.0),
+    ("key-length Z16=240 (q~2^-4.8)", 2.0 ** -8, 2.0 ** -4.8),
+    ("Table 2 w=1 pair (q~2^-4.9, p~2^-16)", 2.0 ** -15.95, -(2.0 ** -4.894)),
+    ("Fluhrer-McGrew cell (q=2^-8, p=2^-16)", 2.0 ** -16, 2.0 ** -8),
+)
+
+
+@experiment(
+    "bias-hunt",
+    description="Hypothesis-test bias detection with Holm correction + power",
+    section="§3.1",
+    params=(
+        Param("num_keys", scaled=1 << 19, maximum=1 << 26),
+        Param("positions", default=32, help="single-byte scan width"),
+        Param("pairs", kind="pairs", default=((15, 16), (31, 32), (1, 2)),
+              help="pairs for the dependence scan"),
+        Param("alpha", kind="float", default=1e-4,
+              help="rejection threshold (paper: 1e-4)"),
+    ),
+)
+def _bias_hunt(ctx) -> dict[str, Any]:
+    p = ctx.params
+    detector = BiasDetector(alpha=p["alpha"])
+
+    ctx.emit("single-scan", "single-byte uniformity scan "
+             f"(positions 1..{p['positions']})")
+    with ctx.timer("single-scan"):
+        counts = ctx.dataset(DatasetSpec(
+            kind="single", num_keys=p["num_keys"], positions=p["positions"],
+            label="hunt-single",
+        ))
+        report = detector.scan_single_bytes(counts)
+    strongest = []
+    for pos in report.biased_positions[:8]:
+        row = counts[pos - 1]
+        top = int(row.argmax())
+        strongest.append(
+            {
+                "position": pos,
+                "value": top,
+                "probability": float(row[top] / row.sum()),
+            }
+        )
+
+    ctx.emit("pair-scan", "pairwise dependence scan "
+             f"({', '.join(f'Z_{a}/Z_{b}' for a, b in p['pairs'])})")
+    with ctx.timer("pair-scan"):
+        tables = ctx.dataset(DatasetSpec(
+            kind="pairs", num_keys=p["num_keys"], pairs=tuple(p["pairs"]),
+            label="hunt-pairs",
+        ))
+        pair_report = detector.scan_pairs(tables, list(p["pairs"]))
+    cells = [
+        {
+            "positions": cell.positions,
+            "values": cell.values,
+            "relative_bias": float(cell.relative_bias),
+        }
+        for cell in pair_report.cells[:10]
+    ]
+
+    ctx.emit("power", "power analysis at this sample count")
+    power = []
+    for label, cell_p, cell_q in POWER_ROWS:
+        needed = required_samples(cell_p, cell_q)
+        power.append(
+            {
+                "bias": label,
+                "needed_samples": int(needed),
+                "detectable": bool(needed <= p["num_keys"]),
+            }
+        )
+    return {
+        "num_keys": p["num_keys"],
+        "biased_positions": list(report.biased_positions),
+        "strongest": strongest,
+        "dependent_pairs": list(pair_report.dependent_pairs),
+        "cells": cells,
+        "power": power,
+        "min_detectable_relative_bias": float(
+            detectable_relative_bias(2.0 ** -8, p["num_keys"])
+        ),
+    }
+
+
+# --------------------------------------------------------------------------
+# §4.1 — broadcast plaintext recovery
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "recovery-broadcast",
+    description="Broadcast recovery: Mantin-Shamir bias + Algorithm 1 list",
+    section="§4.1",
+    params=(
+        Param("num_ciphertexts", scaled=1 << 15, maximum=1 << 24,
+              help="independent encryptions of the same plaintext"),
+        Param("positions", default=4, help="plaintext length in bytes"),
+        Param("secret_byte", default=0x42,
+              help="plaintext byte hidden at position 2 (Z_2)"),
+        Param("list_size", default=64, help="Algorithm 1 candidate list size"),
+        Param("lazy_limit", default=4096,
+              help="cap for the lazy best-first enumeration"),
+    ),
+)
+def _recovery_broadcast(ctx) -> dict[str, Any]:
+    p = ctx.params
+    positions = p["positions"]
+    if not 2 <= positions <= 256:
+        raise ExperimentParamError(f"positions must be 2..256, got {positions}")
+    if not 0 <= p["secret_byte"] <= 255:
+        raise ExperimentParamError(
+            f"secret_byte must be 0..255, got {p['secret_byte']}"
+        )
+    plaintext = bytearray(positions)
+    plaintext[1] = p["secret_byte"]
+    plaintext = bytes(plaintext)
+
+    ctx.emit("encrypt", f"encrypting under {p['num_ciphertexts']} random keys")
+    with ctx.timer("encrypt"):
+        keys = derive_keys(ctx.config, "api-broadcast", p["num_ciphertexts"])
+        stream = batch_keystream(
+            keys, positions, threads=ctx.config.native_threads
+        )
+        cipher = stream ^ np.frombuffer(plaintext, dtype=np.uint8)
+        counts = np.zeros((positions, 256), dtype=np.int64)
+        for r in range(positions):
+            counts[r] = np.bincount(cipher[:, r], minlength=256)
+
+    ctx.emit("recover", "argmax recovery + Algorithm 1 candidate list")
+    with ctx.timer("recover"):
+        dists = np.stack(
+            [single_byte_model(r) for r in range(1, positions + 1)]
+        )
+        recovery = PlaintextRecovery(dists)
+        guess = recovery.most_likely(counts)
+        candidates, _scores = recovery.candidates(counts, p["list_size"])
+        rank = candidates.index(plaintext) if plaintext in candidates else None
+        lazy_rank = None
+        for i, (cand, _score) in enumerate(recovery.iter_candidates(counts)):
+            if cand == plaintext:
+                lazy_rank = i
+                break
+            if i + 1 >= p["lazy_limit"]:
+                break
+    return {
+        "secret_byte": p["secret_byte"],
+        "recovered": [int(b) for b in guess],
+        "recovered_byte": int(guess[1]),
+        "byte_correct": bool(int(guess[1]) == p["secret_byte"]),
+        "candidate_rank": rank,
+        "lazy_rank": lazy_rank,
+        "top_candidates": [c.hex() for c in candidates[:3]],
+    }
+
+
+# --------------------------------------------------------------------------
+# §4.2 — ABSAB gap study
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "absab-gap",
+    description="Mantin ABSAB digraph repetition vs the alpha(g) model",
+    section="§4.2",
+    params=(
+        Param("num_keys", scaled=48, maximum=2048),
+        Param("stream_len", scaled=1 << 13, maximum=1 << 17,
+              help="keystream bytes per key"),
+        Param("gaps", kind="ints", default=(0, 2, 8, 32, 128),
+              help="gap lengths g to measure"),
+        Param("drop", default=1024, help="initial bytes dropped per key"),
+    ),
+)
+def _absab_gap(ctx) -> dict[str, Any]:
+    p = ctx.params
+    # Each gap g needs at least one digraph pair (2*(stream_len-1) - ...):
+    # the A column slice is empty once g > stream_len - 4.
+    bad = [g for g in p["gaps"] if not 0 <= g <= p["stream_len"] - 4]
+    if bad:
+        raise ExperimentParamError(
+            f"gaps must be within 0..stream_len-4 "
+            f"(= {p['stream_len'] - 4}), got {bad}"
+        )
+    ctx.emit(
+        "generate",
+        f"generating {p['num_keys']} keystreams x {p['stream_len']} bytes",
+    )
+    with ctx.timer("generate"):
+        keys = derive_keys(ctx.config, "absab-study", p["num_keys"])
+        stream = batch_keystream(
+            keys, p["stream_len"], drop=p["drop"],
+            threads=ctx.config.native_threads,
+        ).astype(np.int32)
+        digraphs = (stream[:, :-1] << 8) | stream[:, 1:]
+
+    with ctx.timer("measure"):
+        gaps = []
+        for gap in p["gaps"]:
+            a = digraphs[:, : -(gap + 2)]
+            b = digraphs[:, gap + 2:]
+            matches = int((a == b).sum())
+            trials = a.size
+            p_hat = matches / trials
+            alpha = absab_alpha(gap)
+            z = (matches - trials * alpha) / np.sqrt(trials * alpha)
+            gaps.append(
+                {
+                    "gap": gap,
+                    "measured_scaled": p_hat * 65536.0,
+                    "model_scaled": float(alpha * 65536.0),
+                    "z": float(z),
+                    "trials": trials,
+                }
+            )
+    return {"num_keys": p["num_keys"], "stream_len": p["stream_len"], "gaps": gaps}
+
+
+# --------------------------------------------------------------------------
+# §5 — WPA-TKIP end-to-end attack
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "attack-tkip",
+    description="End-to-end WPA-TKIP MIC key recovery + packet forgery",
+    section="§5",
+    params=(
+        Param("num_tsc", scaled=8, maximum=256,
+              help="TSC values in the per-TSC distribution map"),
+        Param("keys_per_tsc", scaled=1 << 12, maximum=1 << 18,
+              help="keys measured per TSC value"),
+        Param("packets_per_tsc", scaled=1 << 12, minimum=1 << 10,
+              maximum=1 << 20, help="captured packets per TSC value"),
+        Param("max_candidates", default=1 << 20,
+              help="candidate list cap for the CRC-pruned search"),
+        Param("forge", kind="bool", default=True,
+              help="forge a packet with the recovered MIC key"),
+    ),
+)
+def _attack_tkip(ctx) -> dict[str, Any]:
+    from ..simulate import WifiAttackSimulation, sampled_capture, tkip_timeline
+    from ..tkip import (
+        TkipSession,
+        default_tsc_space,
+        generate_per_tsc,
+        parse_msdu_data,
+    )
+
+    p = ctx.params
+    sim = WifiAttackSimulation(ctx.config)
+    plaintext = sim.true_plaintext
+
+    ctx.emit(
+        "per-tsc",
+        f"measuring per-TSC keystream distributions ({p['num_tsc']} TSC "
+        f"values x {p['keys_per_tsc']} keys)",
+    )
+    with ctx.timer("per-tsc"):
+        per_tsc = generate_per_tsc(
+            ctx.config,
+            default_tsc_space(p["num_tsc"]),
+            p["keys_per_tsc"],
+            length=len(plaintext),
+        )
+
+    total_packets = p["num_tsc"] * p["packets_per_tsc"]
+    timeline = tkip_timeline(total_packets)
+    ctx.emit(
+        "capture",
+        f"capturing {total_packets} identical-packet encryptions "
+        f"(~{timeline.capture_hours:.2f} h on-air at 2500 pkts/s)",
+        total_packets=total_packets,
+    )
+    with ctx.timer("capture"):
+        capture = sampled_capture(
+            per_tsc,
+            plaintext,
+            range(1, len(plaintext) + 1),
+            packets_per_tsc=p["packets_per_tsc"],
+            seed=ctx.rng("capture"),
+        )
+
+    ctx.emit("recover", "decrypting MIC+ICV via candidate list + CRC pruning")
+    with ctx.timer("recover"):
+        result = sim.attack(
+            capture, per_tsc, max_candidates=p["max_candidates"]
+        )
+
+    forged = None
+    if p["forge"] and result.correct:
+        ctx.emit("forge", "forging a packet with the recovered MIC key")
+        with ctx.timer("forge"):
+            frame = sim.forge_frame(result.mic_key, b"0wned by rc4biases")
+            receiver = TkipSession(
+                tk=sim.victim.tk, mic_key=sim.victim.mic_key, ta=sim.victim.ta
+            )
+            receiver.replay_window = frame.tsc - 1
+            data = receiver.decapsulate(frame)
+            _, ip, tcp, payload = parse_msdu_data(data)
+            forged = {
+                "source": f"{ip.source}:{tcp.source_port}",
+                "destination": f"{ip.destination}:{tcp.dest_port}",
+                "payload": payload,
+                "accepted": True,
+            }
+    return {
+        "captures": capture.num_captured,
+        "candidate_rank": result.candidates_tried,
+        "correct": bool(result.correct),
+        "mic": result.mic.hex(),
+        "mic_key": result.mic_key.hex(),
+        "plaintext_len": len(plaintext),
+        "capture_hours_equivalent": timeline.capture_hours,
+        "forged": forged,
+    }
+
+
+# --------------------------------------------------------------------------
+# §6 — TLS/HTTPS cookie attack
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "attack-https",
+    description="End-to-end HTTPS secure-cookie recovery + brute force",
+    section="§6",
+    params=(
+        Param("cookie_len", default=0,
+              help="secret cookie length; 0 = auto (3, or 16 at scale >= 4)"),
+        Param("num_requests", scaled=1 << 29, minimum=1 << 29,
+              maximum=9 * 2 ** 27, help="encrypted requests to sample"),
+        Param("num_candidates", scaled=1 << 12, minimum=1 << 12,
+              maximum=1 << 23, help="Algorithm 2 candidate list size"),
+        Param("max_gap", default=128, help="ABSAB gap cap (paper: 128)"),
+    ),
+)
+def _attack_https(ctx) -> dict[str, Any]:
+    from ..simulate import HttpsAttackSimulation, tls_timeline
+    from ..tls.bruteforce import PAPER_TEST_RATE
+
+    p = ctx.params
+    cookie_len = p["cookie_len"]
+    if cookie_len <= 0:
+        cookie_len = 3 if ctx.config.scale < 4 else 16
+    sim = HttpsAttackSimulation(
+        ctx.config, cookie_len=cookie_len, max_gap=p["max_gap"]
+    )
+    timeline = tls_timeline(p["num_requests"], candidates=p["num_candidates"])
+
+    ctx.emit(
+        "collect",
+        f"collecting statistics from {p['num_requests']} requests "
+        f"(~{timeline.capture_hours:.1f} victim-hours at paper rate)",
+        num_requests=p["num_requests"],
+    )
+    with ctx.timer("collect"):
+        stats = sim.sampled_statistics(p["num_requests"])
+
+    ctx.emit(
+        "candidates",
+        f"generating {p['num_candidates']} candidates "
+        "(Algorithm 2, RFC 6265 alphabet)",
+    )
+    with ctx.timer("recover"):
+        result = sim.attack(stats, num_candidates=p["num_candidates"])
+
+    return {
+        "cookie_len": cookie_len,
+        "num_requests": result.num_requests,
+        "rank": result.rank,
+        "attempts": result.attempts,
+        "cookie": result.cookie.decode("latin-1"),
+        "request_len": sim.layout.request_len,
+        "cookie_span": sim.layout.cookie_span,
+        "absab_alignments": len(stats.absab_counts),
+        "fm_transitions": int(stats.fm_counts.shape[0]),
+        "capture_hours_equivalent": timeline.capture_hours,
+        "bruteforce_seconds_equivalent": result.attempts / PAPER_TEST_RATE,
+    }

@@ -1,0 +1,248 @@
+"""Experiment specs and the declarative registry.
+
+Every reproducible unit in the repo — the five dataset kinds, the bias
+hunt, the recovery studies, the two end-to-end attacks — is described by
+an :class:`ExperimentSpec` and registered with the :func:`experiment`
+decorator.  The registry is the single orchestration surface: the CLI,
+the examples, and the test suite all enumerate it rather than hand-wiring
+pipelines, so adding a scenario is one decorated function.
+
+Parameters are declared as :class:`Param` rows.  Defaults may be
+*scale-aware* (``scaled=base`` resolves through
+:meth:`repro.config.ReproConfig.scaled` with the declared clamps), so one
+registration serves laptop smoke runs and paper-scale sweeps alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..config import ReproConfig
+from ..errors import ExperimentError, ExperimentParamError, UnknownExperimentError
+
+#: Parameter kinds the CLI can parse from ``--param name=value`` strings.
+PARAM_KINDS = ("int", "float", "str", "bool", "pairs", "ints")
+
+_TRUE = ("1", "true", "yes", "on")
+_FALSE = ("0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared experiment parameter.
+
+    Attributes:
+        name: keyword the experiment function receives.
+        kind: one of :data:`PARAM_KINDS` (drives coercion of CLI strings).
+        default: literal default (ignored when ``scaled`` is set).
+        scaled: when set, the default is ``config.scaled(scaled,
+            minimum=minimum, maximum=maximum)`` — scale-aware.
+        minimum / maximum: clamps for scaled defaults (and documentation
+            for explicit values; explicit overrides are taken literally).
+        help: one-line description shown by ``python -m repro list/info``.
+    """
+
+    name: str
+    kind: str = "int"
+    default: Any = None
+    scaled: int | None = None
+    minimum: int = 1
+    maximum: int | None = None
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in PARAM_KINDS:
+            raise ExperimentError(
+                f"param {self.name!r}: unknown kind {self.kind!r} "
+                f"(expected one of {PARAM_KINDS})"
+            )
+
+    def resolve_default(self, config: ReproConfig) -> Any:
+        if self.scaled is not None:
+            return config.scaled(
+                self.scaled, minimum=self.minimum, maximum=self.maximum
+            )
+        return self.default
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce an override (possibly a CLI string) to this param's kind."""
+        try:
+            if self.kind == "int":
+                if isinstance(value, bool):
+                    raise ValueError("bool is not an int")
+                return int(value)
+            if self.kind == "float":
+                return float(value)
+            if self.kind == "str":
+                return str(value)
+            if self.kind == "bool":
+                return _coerce_bool(value)
+            if self.kind == "pairs":
+                return _coerce_pairs(value)
+            if self.kind == "ints":
+                return _coerce_ints(value)
+        except (TypeError, ValueError) as exc:
+            raise ExperimentParamError(
+                f"param {self.name!r} expects {self.kind}, got {value!r}: {exc}"
+            ) from exc
+        raise ExperimentParamError(f"param {self.name!r}: unknown kind {self.kind!r}")
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready description for ``list --json`` / ``info --json``."""
+        desc: dict[str, Any] = {"name": self.name, "kind": self.kind}
+        if self.scaled is not None:
+            desc["scaled_default"] = self.scaled
+            desc["minimum"] = self.minimum
+            if self.maximum is not None:
+                desc["maximum"] = self.maximum
+        else:
+            default = self.default
+            desc["default"] = (
+                list(map(list, default))
+                if self.kind == "pairs" and default is not None
+                else list(default)
+                if self.kind == "ints" and default is not None
+                else default
+            )
+        if self.help:
+            desc["help"] = self.help
+        return desc
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in _TRUE:
+            return True
+        if lowered in _FALSE:
+            return False
+    raise ValueError(f"not a boolean: {value!r}")
+
+
+def _coerce_pairs(value: Any) -> tuple[tuple[int, int], ...]:
+    """Accept ``((15, 16), (31, 32))`` or the CLI form ``"15:16,31:32"``."""
+    if isinstance(value, str):
+        value = [
+            part.split(":") for part in value.split(",") if part.strip()
+        ]
+    pairs = []
+    for pair in value:
+        a, b = pair  # raises ValueError/TypeError on wrong arity
+        pairs.append((int(a), int(b)))
+    if not pairs:
+        raise ValueError("expected at least one position pair")
+    return tuple(pairs)
+
+
+def _coerce_ints(value: Any) -> tuple[int, ...]:
+    """Accept ``(0, 8, 128)`` or the CLI form ``"0,8,128"``."""
+    if isinstance(value, str):
+        value = [part for part in value.split(",") if part.strip()]
+    items = tuple(int(item) for item in value)
+    if not items:
+        raise ValueError("expected at least one integer")
+    return items
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered, runnable unit of the reproduction.
+
+    Attributes:
+        name: registry key (``python -m repro run <name>``).
+        description: one-line summary for listings.
+        section: the paper section the experiment reproduces.
+        params: declared parameter schema.
+        fn: implementation ``fn(ctx) -> metrics dict`` (see
+            :class:`repro.api.session.RunContext`).
+    """
+
+    name: str
+    description: str
+    section: str = ""
+    params: tuple[Param, ...] = ()
+    fn: Callable[..., dict[str, Any]] = field(compare=False, repr=False, default=None)
+
+    def resolve_params(
+        self, config: ReproConfig, overrides: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Merge overrides into scale-aware defaults, validating names."""
+        known = {param.name: param for param in self.params}
+        unknown = sorted(set(overrides) - set(known))
+        if unknown:
+            raise ExperimentParamError(
+                f"experiment {self.name!r} has no parameter(s) "
+                f"{', '.join(map(repr, unknown))}; "
+                f"valid: {', '.join(sorted(known)) or '(none)'}"
+            )
+        resolved = {}
+        for name, param in known.items():
+            if name in overrides:
+                resolved[name] = param.coerce(overrides[name])
+            else:
+                resolved[name] = param.resolve_default(config)
+        return resolved
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "section": self.section,
+            "params": [param.describe() for param in self.params],
+        }
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add ``spec`` to the global registry (duplicate names are bugs)."""
+    if spec.name in _REGISTRY:
+        raise ExperimentError(f"experiment {spec.name!r} is already registered")
+    if spec.fn is None:
+        raise ExperimentError(f"experiment {spec.name!r} has no implementation")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def experiment(
+    name: str,
+    *,
+    description: str,
+    section: str = "",
+    params: tuple[Param, ...] = (),
+) -> Callable:
+    """Decorator registering ``fn(ctx) -> metrics`` as an experiment."""
+
+    def decorate(fn: Callable[..., dict[str, Any]]) -> Callable:
+        register(
+            ExperimentSpec(
+                name=name,
+                description=description,
+                section=section,
+                params=tuple(params),
+                fn=fn,
+            )
+        )
+        return fn
+
+    return decorate
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up a registered experiment, with a helpful failure mode."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(registry is empty)"
+        raise UnknownExperimentError(
+            f"unknown experiment {name!r}; registered: {known}"
+        ) from None
+
+
+def list_experiments() -> list[ExperimentSpec]:
+    """All registered experiments, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

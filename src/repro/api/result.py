@@ -1,0 +1,104 @@
+"""Uniform, JSON-serialisable experiment results.
+
+Every :meth:`repro.api.Session.run` returns an :class:`ExperimentResult`:
+the resolved parameters, the metrics the experiment reported, per-stage
+wall-clock timings, and the seed/scale/backend provenance needed to
+rerun it bit-for-bit.  Serialisation goes through the canonical-JSON
+helpers in :mod:`repro.utils.serialization`, so
+``from_json(r.to_json()).to_json() == r.to_json()`` holds exactly —
+the property the CLI's ``run --json`` contract and the benchmark
+recording rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import json
+
+from ..errors import ExperimentError
+from ..utils.serialization import canonical_json, to_jsonable
+
+#: Bumped when the serialised layout changes incompatibly.
+RESULT_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One experiment run, as a machine-readable record.
+
+    Attributes:
+        experiment: registry name of the experiment that ran.
+        params: fully resolved parameters (defaults + overrides).
+        metrics: experiment-reported outcomes (JSON-native values only).
+        timings: per-stage wall-clock seconds, plus ``"total"``.
+        provenance: seed, scale, package version, and backend facts
+            needed to reproduce or audit the run.
+    """
+
+    experiment: str
+    params: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native dict form (normalised through ``to_jsonable``)."""
+        return to_jsonable(
+            {
+                "format_version": RESULT_FORMAT_VERSION,
+                "experiment": self.experiment,
+                "params": self.params,
+                "metrics": self.metrics,
+                "timings": self.timings,
+                "provenance": self.provenance,
+            }
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, fixed separators): deterministic."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "ExperimentResult":
+        if not isinstance(payload, dict):
+            raise ExperimentError(
+                f"experiment result must be a JSON object, got {type(payload).__name__}"
+            )
+        version = payload.get("format_version")
+        if version != RESULT_FORMAT_VERSION:
+            raise ExperimentError(
+                f"unsupported experiment-result format version {version!r} "
+                f"(expected {RESULT_FORMAT_VERSION})"
+            )
+        experiment = payload.get("experiment")
+        if not isinstance(experiment, str) or not experiment:
+            raise ExperimentError("experiment result has no experiment name")
+        fields = {}
+        for key in ("params", "metrics", "timings", "provenance"):
+            value = payload.get(key, {})
+            if not isinstance(value, dict):
+                raise ExperimentError(f"experiment result field {key!r} must be a dict")
+            fields[key] = value
+        return cls(experiment=experiment, **fields)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"malformed experiment-result JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the canonical JSON to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,226 @@
+"""The :class:`Session` facade — one object that runs any experiment.
+
+A session owns a :class:`~repro.config.ReproConfig`, a dataset cache
+(in-memory always, on-disk via :mod:`repro.datasets.store` when a cache
+directory is given), and a list of progress callbacks.  ``run(name,
+**overrides)`` resolves the experiment in the registry, validates and
+completes its parameters, executes it under a :class:`RunContext`, and
+returns a uniform :class:`~repro.api.result.ExperimentResult`.
+
+Every consumer — the CLI, the examples, the benchmarks — drives this
+facade, so orchestration lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from .._version import __version__
+from ..config import ReproConfig, get_config
+from ..datasets.manager import DatasetSpec, generate_dataset
+from ..datasets.store import dataset_cache_path, load_dataset, save_dataset
+from ..errors import ExperimentError
+from ..rc4 import _native
+from .registry import ExperimentSpec, get_experiment
+from .result import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress notification from a running experiment.
+
+    Attributes:
+        experiment: registry name of the running experiment.
+        stage: short machine-friendly stage label (also the timing key).
+        message: human-readable one-liner.
+        data: small JSON-able payload (counts, ranks, ...).
+    """
+
+    experiment: str
+    stage: str
+    message: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+class Session:
+    """Facade for running registered experiments under one configuration.
+
+    Args:
+        config: run configuration; ``None`` reads the environment
+            (:func:`repro.config.get_config`).
+        cache_dir: optional directory for the on-disk dataset cache.
+            When unset, datasets are cached in memory only (fresh
+            sessions regenerate — what benchmarks want).
+        progress: optional initial progress callback.
+    """
+
+    def __init__(
+        self,
+        config: ReproConfig | None = None,
+        *,
+        cache_dir: str | Path | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        self.config = config if config is not None else get_config()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._callbacks: list[ProgressCallback] = []
+        self._dataset_cache: dict[str, np.ndarray] = {}
+        if progress is not None:
+            self.add_progress(progress)
+
+    # --- progress ---------------------------------------------------------
+
+    def add_progress(self, callback: ProgressCallback) -> None:
+        """Subscribe ``callback`` to every :class:`ProgressEvent`."""
+        self._callbacks.append(callback)
+
+    def _emit(self, event: ProgressEvent) -> None:
+        for callback in self._callbacks:
+            callback(event)
+
+    # --- dataset cache ----------------------------------------------------
+
+    def dataset(
+        self,
+        spec: DatasetSpec,
+        *,
+        processes: int | None = None,
+        worker_chunk: int | None = None,
+    ) -> np.ndarray:
+        """Generate (or fetch from cache) the counters for ``spec``.
+
+        The cache key covers every spec field plus the session seed, so
+        two sessions at the same seed share disk entries while different
+        seeds never collide.  Cached counters are returned as read-only
+        views; copy before mutating.  A non-default ``worker_chunk``
+        (a testing knob that changes shard key derivation, hence the
+        counters) bypasses both cache layers entirely.
+        """
+        if worker_chunk is not None:
+            return generate_dataset(
+                spec,
+                self.config,
+                processes=processes,
+                worker_chunk=worker_chunk,
+                threads=self.config.native_threads,
+            )
+        path = dataset_cache_path(self.cache_dir or "", spec, self.config)
+        key = path.name
+        cached = self._dataset_cache.get(key)
+        if cached is not None:
+            return cached
+        if self.cache_dir is not None and path.exists():
+            # expected_spec guards against hash collisions and stale files.
+            counts, _ = load_dataset(path, expected_spec=spec)
+        else:
+            counts = generate_dataset(
+                spec,
+                self.config,
+                processes=processes,
+                threads=self.config.native_threads,
+            )
+            if self.cache_dir is not None:
+                save_dataset(path, counts, spec)
+        counts.setflags(write=False)
+        self._dataset_cache[key] = counts
+        return counts
+
+    # --- running ----------------------------------------------------------
+
+    def run(self, name: str, /, **overrides: Any) -> ExperimentResult:
+        """Run a registered experiment and return its uniform result.
+
+        Raises:
+            UnknownExperimentError: ``name`` is not registered.
+            ExperimentParamError: an override is unknown or ill-typed.
+            ExperimentError: the experiment returned a malformed record.
+        """
+        spec = get_experiment(name)
+        params = spec.resolve_params(self.config, overrides)
+        ctx = RunContext(session=self, spec=spec, params=params)
+        start = time.perf_counter()
+        metrics = spec.fn(ctx)
+        total = time.perf_counter() - start
+        if not isinstance(metrics, dict):
+            raise ExperimentError(
+                f"experiment {name!r} returned {type(metrics).__name__}, "
+                "expected a metrics dict"
+            )
+        timings = dict(ctx.timings)
+        timings["total"] = total
+        return ExperimentResult(
+            experiment=name,
+            params=params,
+            metrics=metrics,
+            timings=timings,
+            provenance=self._provenance(),
+        )
+
+    def _provenance(self) -> dict[str, Any]:
+        config = self.config
+        return {
+            "version": __version__,
+            "seed": config.seed,
+            "scale": config.scale,
+            "native": config.native and _native.available(),
+            "native_threads": config.native_threads,
+            "native_interleave": config.native_interleave,
+        }
+
+
+@dataclass
+class RunContext:
+    """What an experiment implementation receives.
+
+    Wraps the session with run-scoped conveniences: resolved ``params``,
+    a :meth:`timer` that records per-stage wall-clock into the result,
+    :meth:`emit` for progress events, seeded :meth:`rng` streams, and the
+    session dataset cache.
+    """
+
+    session: Session
+    spec: ExperimentSpec
+    params: dict[str, Any]
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def config(self) -> ReproConfig:
+        return self.session.config
+
+    def rng(self, *labels: object) -> np.random.Generator:
+        """Child RNG namespaced under this experiment's name."""
+        return self.config.rng("experiment", self.spec.name, *labels)
+
+    def emit(self, stage: str, message: str, **data: Any) -> None:
+        """Send a progress event to the session's subscribers."""
+        self.session._emit(
+            ProgressEvent(
+                experiment=self.spec.name, stage=stage, message=message, data=data
+            )
+        )
+
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[None]:
+        """Record the wall-clock of a stage into the result timings."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings[stage] = (
+                self.timings.get(stage, 0.0) + time.perf_counter() - start
+            )
+
+    def dataset(
+        self, spec: DatasetSpec, *, processes: int | None = None
+    ) -> np.ndarray:
+        """Session-cached dataset generation (see :meth:`Session.dataset`)."""
+        return self.session.dataset(spec, processes=processes)

@@ -1,9 +1,9 @@
-"""Global scaling and randomness configuration.
+"""Global scaling, randomness, and backend configuration.
 
 The paper's statistics were computed from 2**44 .. 2**47 RC4 keystreams on
 a distributed cluster; this reproduction exposes the same code paths at
-laptop scale.  Two environment variables control every sample count in the
-benchmark and example layer:
+laptop scale.  A handful of environment variables control every sample
+count and backend knob in the library:
 
 ``REPRO_SCALE``
     A positive float multiplying the default sample counts (default 1.0).
@@ -16,9 +16,17 @@ benchmark and example layer:
     presentation date).  Every component derives child seeds from this
     via :func:`child_seed`, so independent subsystems never share streams.
 
-Library code never reads the environment directly — it goes through
-:func:`get_config` — so tests can construct explicit :class:`ReproConfig`
-instances.
+``REPRO_NATIVE`` / ``REPRO_NATIVE_THREADS`` / ``REPRO_NATIVE_INTERLEAVE``
+/ ``REPRO_NATIVE_CC``
+    The compiled statistics backend (:mod:`repro.rc4._native`): enabled
+    flag, kernel thread count (default ``os.cpu_count()``), interleaved
+    vs scalar kernels, and a compiler pin.  All results are bit-exact
+    for every setting.
+
+This module is the *only* place in ``src/repro`` that reads ``REPRO_*``
+environment variables.  Library code goes through :func:`get_config` (or
+the ``env_native_*`` accessors for the process-global backend), so tests
+can construct explicit :class:`ReproConfig` instances.
 """
 
 from __future__ import annotations
@@ -33,6 +41,14 @@ from .errors import ConfigError
 DEFAULT_SEED = 20150812
 _ENV_SCALE = "REPRO_SCALE"
 _ENV_SEED = "REPRO_SEED"
+_ENV_NATIVE = "REPRO_NATIVE"
+_ENV_NATIVE_THREADS = "REPRO_NATIVE_THREADS"
+_ENV_NATIVE_INTERLEAVE = "REPRO_NATIVE_INTERLEAVE"
+_ENV_NATIVE_CC = "REPRO_NATIVE_CC"
+
+#: Values that switch a boolean knob off (matching the historical
+#: behaviour of REPRO_NATIVE=0 / REPRO_NATIVE_INTERLEAVE=0).
+_OFF_VALUES = ("0", "off", "false")
 
 
 @dataclass(frozen=True)
@@ -42,16 +58,34 @@ class ReproConfig:
     Attributes:
         scale: multiplier applied to default sample counts (> 0).
         seed: master seed from which all child RNG streams derive.
+        native: whether the compiled statistics backend may be used
+            (it silently falls back to numpy when unavailable anyway).
+        native_threads: thread count for the native kernels; ``None``
+            means the backend default (``os.cpu_count()``).
+        native_interleave: use the interleaved PRGA kernels (multiple
+            independent RC4 states per loop iteration).
+        native_cc: pinned C compiler for the on-demand build, or ``None``
+            for the ``cc``/``gcc``/``clang`` probe order.
     """
 
     scale: float = 1.0
     seed: int = DEFAULT_SEED
+    native: bool = True
+    native_threads: int | None = None
+    native_interleave: bool = True
+    native_cc: str | None = None
 
     def __post_init__(self) -> None:
         if not (self.scale > 0.0):
             raise ConfigError(f"scale must be positive, got {self.scale!r}")
         if not isinstance(self.seed, int) or self.seed < 0:
             raise ConfigError(f"seed must be a non-negative int, got {self.seed!r}")
+        if self.native_threads is not None:
+            if not isinstance(self.native_threads, int) or self.native_threads < 1:
+                raise ConfigError(
+                    f"native_threads must be a positive int or None, "
+                    f"got {self.native_threads!r}"
+                )
 
     def scaled(
         self, count: int, *, minimum: int = 1, maximum: int | None = None
@@ -84,6 +118,35 @@ def child_seed(master: int, *labels: object) -> int:
     return int(seq.generate_state(1, dtype=np.uint64)[0] >> 1)
 
 
+def env_native_enabled() -> bool:
+    """``REPRO_NATIVE``: False only on an explicit 0/off/false."""
+    return os.environ.get(_ENV_NATIVE, "").strip() not in _OFF_VALUES
+
+
+def env_native_threads() -> int | None:
+    """``REPRO_NATIVE_THREADS`` as an int, or ``None`` when unset."""
+    raw = os.environ.get(_ENV_NATIVE_THREADS, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"{_ENV_NATIVE_THREADS} must be an integer, got {raw!r}"
+        ) from exc
+
+
+def env_native_interleave() -> bool:
+    """``REPRO_NATIVE_INTERLEAVE``: False only on an explicit 0/off/false."""
+    return os.environ.get(_ENV_NATIVE_INTERLEAVE, "").strip() not in _OFF_VALUES
+
+
+def env_native_cc() -> str | None:
+    """``REPRO_NATIVE_CC``: pinned compiler path, or ``None`` when unset."""
+    pinned = os.environ.get(_ENV_NATIVE_CC, "").strip()
+    return pinned or None
+
+
 def get_config() -> ReproConfig:
     """Build a :class:`ReproConfig` from the environment (or defaults)."""
     raw_scale = os.environ.get(_ENV_SCALE, "1.0")
@@ -96,4 +159,15 @@ def get_config() -> ReproConfig:
         seed = int(raw_seed)
     except ValueError as exc:
         raise ConfigError(f"{_ENV_SEED} must be an int, got {raw_seed!r}") from exc
-    return ReproConfig(scale=scale, seed=seed)
+    threads = env_native_threads()
+    if threads is not None:
+        # The kernels clamp to >= 1 themselves; the typed field validates.
+        threads = max(1, threads)
+    return ReproConfig(
+        scale=scale,
+        seed=seed,
+        native=env_native_enabled(),
+        native_threads=threads,
+        native_interleave=env_native_interleave(),
+        native_cc=env_native_cc(),
+    )

@@ -26,11 +26,12 @@ from .generate import (
     single_byte_counts,
 )
 from .manager import DatasetSpec, generate_dataset, merge_counts
-from .store import load_dataset, save_dataset
+from .store import dataset_cache_path, load_dataset, save_dataset
 
 __all__ = [
     "DatasetSpec",
     "consec_digraph_counts",
+    "dataset_cache_path",
     "equality_counts",
     "generate_dataset",
     "load_dataset",

@@ -27,6 +27,11 @@ thread counts and process counts.
 
 Workers are plain module-level functions (picklable) parameterised by a
 :class:`DatasetSpec`; fork inheritance carries the shared counter views.
+
+This module is the *generation* layer.  Consumers normally go through
+:meth:`repro.api.Session.dataset`, which adds memoisation (in-memory,
+plus the on-disk store keyed by spec + seed) and is the path the
+experiment registry, the CLI, and the benchmarks share.
 """
 
 from __future__ import annotations

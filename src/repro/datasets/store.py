@@ -3,19 +3,40 @@
 Thin wrapper over :mod:`repro.utils.serialization` that records the
 :class:`~repro.datasets.manager.DatasetSpec` fields in the metadata and
 validates them on load, so cached statistics are never silently reused
-for a different experiment.
+for a different experiment.  :func:`dataset_cache_path` derives the
+deterministic cache location the :class:`repro.api.Session` dataset
+cache uses.
 """
 
 from __future__ import annotations
 
+import hashlib
+import re
 from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
 
+from ..config import ReproConfig
 from ..errors import DatasetError
-from ..utils.serialization import load_arrays, save_arrays
+from ..utils.serialization import canonical_json, load_arrays, save_arrays
 from .manager import DatasetSpec
+
+
+def dataset_cache_path(
+    root: str | Path, spec: DatasetSpec, config: ReproConfig
+) -> Path:
+    """Deterministic cache file for ``spec`` generated under ``config``.
+
+    The digest covers every spec field plus the master seed — the two
+    inputs that fully determine the counters (scale only influences how
+    callers choose ``spec.num_keys``).  The kind and label stay in the
+    filename so humans can tell cache entries apart.
+    """
+    payload = {"spec": _spec_to_meta(spec), "seed": config.seed}
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", spec.label) or "dataset"
+    return Path(root) / f"{spec.kind}-{slug}-{digest[:16]}.npz"
 
 
 def save_dataset(path: str | Path, counts: np.ndarray, spec: DatasetSpec) -> Path:

@@ -11,8 +11,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class ConfigError(ReproError):
-    """Invalid scaling/seed configuration."""
+class ConfigError(ReproError, ValueError):
+    """Invalid scaling/seed/backend configuration.
+
+    Also a :class:`ValueError`: configuration failures are malformed
+    values, and callers validating e.g. ``REPRO_NATIVE_THREADS`` catch
+    ``ValueError`` without importing the repro hierarchy.
+    """
 
 
 class KeyLengthError(ReproError):
@@ -53,3 +58,15 @@ class TlsError(ReproError):
 
 class AttackError(ReproError):
     """An attack pipeline could not complete (e.g. no candidate survived)."""
+
+
+class ExperimentError(ReproError):
+    """The experiment registry or an experiment run failed."""
+
+
+class UnknownExperimentError(ExperimentError):
+    """A requested experiment name is not in the registry."""
+
+
+class ExperimentParamError(ExperimentError):
+    """An experiment received an unknown or ill-typed parameter."""

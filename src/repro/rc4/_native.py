@@ -28,7 +28,9 @@ simulate a broken toolchain.  Both paths are bit-exact with
 them cell-for-cell.
 
 No third-party dependency is involved — only :mod:`ctypes` and a C
-compiler that the pure-python fallback makes optional.
+compiler that the pure-python fallback makes optional.  All ``REPRO_*``
+environment parsing is delegated to :mod:`repro.config` (the single
+env-reading module); this module only consumes the typed accessors.
 """
 
 from __future__ import annotations
@@ -43,10 +45,13 @@ from pathlib import Path
 
 import numpy as np
 
-_ENV_DISABLE = "REPRO_NATIVE"
-_ENV_THREADS = "REPRO_NATIVE_THREADS"
-_ENV_INTERLEAVE = "REPRO_NATIVE_INTERLEAVE"
-_ENV_CC = "REPRO_NATIVE_CC"
+from ..config import (
+    env_native_cc,
+    env_native_enabled,
+    env_native_interleave,
+    env_native_threads,
+)
+
 _SOURCE = Path(__file__).with_name("_native.c")
 
 #: Aggregate private-counter budget across threads (bytes).  Wide
@@ -70,7 +75,7 @@ def _cache_dir() -> Path:
 
 
 def _compilers() -> tuple[str, ...]:
-    pinned = os.environ.get(_ENV_CC, "").strip()
+    pinned = env_native_cc()
     if pinned:
         return (pinned,)
     return ("cc", "gcc", "clang")
@@ -156,8 +161,8 @@ def _load() -> ctypes.CDLL | None:
     if _load_attempted:
         return _lib
     _load_attempted = True
-    if os.environ.get(_ENV_DISABLE, "").strip() in ("0", "off", "false"):
-        _load_error = f"disabled via {_ENV_DISABLE}"
+    if not env_native_enabled():
+        _load_error = "disabled via REPRO_NATIVE"
         return None
     try:
         _lib = _bind(ctypes.CDLL(str(_compile())))
@@ -187,9 +192,8 @@ def status() -> str:
     if available():
         try:
             threads = str(resolve_threads(None))
-        except ValueError:
-            env = os.environ.get(_ENV_THREADS, "")
-            threads = f"invalid {_ENV_THREADS}={env!r}"
+        except ValueError as exc:  # malformed REPRO_NATIVE_THREADS
+            threads = f"invalid ({exc})"
         return (
             f"native backend loaded (threads={threads}, "
             f"interleave={'on' if _interleave(None) else 'off'})"
@@ -206,15 +210,10 @@ def resolve_threads(threads: int | None, counter_bytes: int = 0) -> int:
     private scratch stays within the 1 GiB budget.
     """
     if threads is None:
-        env = os.environ.get(_ENV_THREADS, "").strip()
-        if env:
-            try:
-                threads = int(env)
-            except ValueError as exc:
-                raise ValueError(
-                    f"{_ENV_THREADS} must be an integer, got {env!r}"
-                ) from exc
-        else:
+        # env_native_threads raises ConfigError (a ValueError) when the
+        # variable is set but malformed.
+        threads = env_native_threads()
+        if threads is None:
             threads = os.cpu_count() or 1
     threads = max(1, int(threads))
     if counter_bytes > 0:
@@ -225,9 +224,7 @@ def resolve_threads(threads: int | None, counter_bytes: int = 0) -> int:
 def _interleave(interleave: bool | None) -> int:
     """Resolve the interleave knob (per-call override beats the env)."""
     if interleave is None:
-        return 0 if os.environ.get(_ENV_INTERLEAVE, "").strip() in (
-            "0", "off", "false"
-        ) else 1
+        return 1 if env_native_interleave() else 0
     return 1 if interleave else 0
 
 

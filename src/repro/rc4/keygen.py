@@ -4,7 +4,7 @@ The paper's workers derived random 128-bit RC4 keys from a per-worker AES
 key using AES in counter mode (§3.2).  No AES primitive is available in
 this offline environment, so we substitute SHA-256 in counter mode — also
 a PRF, and interchangeable for the purpose of producing independent
-uniform keys (documented in DESIGN.md).  For bulk statistics we expose a
+uniform keys (a documented substitution).  For bulk statistics we expose a
 numpy-PCG64 fast path; PCG64 passes the statistical test batteries that
 matter at our sample sizes and is orders of magnitude faster.
 """

@@ -77,8 +77,11 @@ class HttpsAttackSimulation:
 
         For every transition digraph, draw the ciphertext digraph counts
         from the Fluhrer–McGrew model; for every ABSAB alignment, draw
-        differential counts from the alpha(g) model.  See DESIGN.md for
-        why this matches a real capture of ``num_requests`` requests.
+        differential counts from the alpha(g) model.  The likelihood
+        estimators consume only these count vectors, so sampling them
+        from the model-induced multinomials is distribution-exact — it
+        matches a real capture of ``num_requests`` requests (see the
+        :mod:`repro.simulate` package docstring).
         """
         layout = self.layout
         plaintext = self.campaign.request_plaintext()

@@ -1,4 +1,4 @@
-"""Exact sampling of attack sufficient statistics (DESIGN.md substitution).
+"""Exact sampling of attack sufficient statistics (documented substitution).
 
 All likelihood estimators in :mod:`repro.core` consume *count vectors*:
 

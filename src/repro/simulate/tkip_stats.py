@@ -17,8 +17,8 @@ Two fidelity modes, both exposed by the benchmarks:
   distribution set, so the attacker's estimation noise degrades recovery
   realistically.  At this reproduction's affordable keys-per-TSC the
   estimation noise at the MIC/ICV positions is substantial (the paper
-  spent 10 CPU-years here; see DESIGN.md), which shifts curves right but
-  preserves their shape.
+  spent 10 CPU-years here; see :mod:`repro.tkip.per_tsc`), which shifts
+  curves right but preserves their shape.
 """
 
 from __future__ import annotations

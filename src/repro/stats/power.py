@@ -4,7 +4,7 @@ The paper could afford 2**44+ keystreams; this reproduction cannot, so we
 make the trade-off explicit: for a target relative bias q on a cell with
 null probability p, how many samples are needed before a two-sided
 proportion test at level alpha rejects with the desired power?  These
-functions size the scaled-down benchmarks and let EXPERIMENTS.md state
+functions size the scaled-down benchmarks and let the benchmark notes state
 precisely which paper biases are detectable at which scale.
 
 Standard normal-approximation power analysis for a one-sample proportion:

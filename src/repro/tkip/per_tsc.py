@@ -7,9 +7,10 @@ pair, the distribution Pr[Z_r = k | TSC] of the initial keystream bytes.
 
 The paper generated these for all 65536 TSC pairs with 2**32 keys each
 (10 CPU-years).  We expose the same measurement over a *configurable TSC
-subspace* and key count (documented substitution; see DESIGN.md): the
-attack machinery is unchanged, only the map is coarser.  Distributions
-are cached on disk since they are reused across attack runs.
+subspace* and key count (a documented substitution — the ``attack-tkip``
+registry entry records both knobs in its result provenance): the attack
+machinery is unchanged, only the map is coarser.  Distributions are
+cached on disk since they are reused across attack runs.
 """
 
 from __future__ import annotations

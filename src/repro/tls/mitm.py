@@ -12,7 +12,7 @@ on the wire.  The paper sustained ~4450 requests/second this way.
 encrypted by the victim's record layer and observed by a
 :class:`~repro.tls.connection.RecordSniffer`.  For statistics at scales
 where running real RC4 per request is infeasible, the benchmark layer
-swaps in the sufficient-statistic samplers (see DESIGN.md).
+swaps in the sufficient-statistic samplers (see :mod:`repro.simulate`).
 """
 
 from __future__ import annotations

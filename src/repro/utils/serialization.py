@@ -3,6 +3,13 @@
 Datasets are stored as ``.npz`` archives with a JSON metadata blob under
 the reserved key ``__meta__``.  The format is self-describing so a dataset
 generated at one scale can be validated before use at another.
+
+The module also hosts the canonical-JSON helpers the experiment API
+(:mod:`repro.api`) uses for :class:`~repro.api.ExperimentResult`
+round-tripping: :func:`to_jsonable` normalises numpy scalars/arrays and
+tuples into JSON-native values, and :func:`canonical_json` renders them
+deterministically (sorted keys, fixed separators) so serialising the
+same record twice is bit-identical.
 """
 
 from __future__ import annotations
@@ -17,6 +24,49 @@ from ..errors import DatasetError
 
 FORMAT_VERSION = 1
 _META_KEY = "__meta__"
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-native types.
+
+    Numpy integers/floats/bools become Python scalars, numpy arrays and
+    tuples become lists, ``bytes`` become latin-1 strings (lossless for
+    arbitrary byte values), and mappings get string keys.  Raises
+    :class:`TypeError` for values with no faithful JSON form.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, bytes):
+        return value.decode("latin-1")
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    raise TypeError(f"value of type {type(value).__name__} is not JSON-serialisable")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, fixed separators).
+
+    ``canonical_json(json.loads(canonical_json(x))) == canonical_json(x)``
+    for every jsonable ``x`` — the bit-identical round-trip property the
+    experiment-result format relies on.  NaN/Infinity are rejected
+    (``allow_nan=False``): they have no standard JSON form and NaN would
+    silently break round-trip equality.
+    """
+    return json.dumps(
+        to_jsonable(value), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
 
 
 def save_arrays(

@@ -63,6 +63,15 @@ def test_verify_job_caches_native_build_keyed_on_source_hash(workflow):
     assert "hashFiles('src/repro/rc4/_native.c')" in cache["key"]
 
 
+def test_verify_job_smokes_the_experiment_api(workflow):
+    """CI must exercise the registry CLI: list + a tiny run --json."""
+    runs = _run_lines(workflow["jobs"]["verify"])
+    assert "python -m repro list" in runs
+    assert "python -m repro" in runs and " run " in runs
+    assert "--json" in runs
+    assert "ExperimentResult" in runs, "the emitted JSON must be validated"
+
+
 def test_verify_job_has_soft_fail_regression_step(workflow):
     job = workflow["jobs"]["verify"]
     check_steps = [

@@ -3,7 +3,7 @@
 These tests run the complete pipelines exactly as the examples do — real
 RC4, real protocol stacks — at sizes that keep the suite fast.  Where
 recovery needs paper-scale ciphertexts, the sampled sufficient-statistic
-path stands in (see DESIGN.md).
+path stands in (see the repro.simulate package docstring).
 """
 
 
