@@ -10,7 +10,12 @@ result matrix:
 - ``absab-gap`` — Mantin's ABSAB bias vs gap length against the
   alpha(g) model (§4.2);
 - ``attack-tkip`` / ``attack-https`` — the two end-to-end attacks
-  (§5 / §6), statistic-level sampling, real recovery machinery.
+  (§5 / §6), statistic-level sampling, real recovery machinery;
+- ``attack-michael`` — Michael key recovery from a decrypted packet plus
+  Beck's fragmentation-based keystream-reuse forgery (§2.2, §5.3;
+  *Enhanced TKIP Michael Attacks*, 2010);
+- ``bias-sweep`` — per-position single-byte bias profiles over a
+  configurable position range via the fused counting kernels (§3.3.1).
 
 Implementations receive a :class:`~repro.api.session.RunContext` and
 return a JSON-able metrics dict; parameters are declared on the spec so
@@ -563,6 +568,279 @@ def _attack_tkip(ctx) -> dict[str, Any]:
 
 
 # --------------------------------------------------------------------------
+# §2.2 / §5.3 — Michael key recovery and Beck's fragmentation forgery
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "attack-michael",
+    description="Michael key recovery + Beck fragmentation keystream reuse",
+    section="§2.2/§5.3",
+    params=(
+        Param("num_harvest", scaled=8, minimum=2, maximum=256,
+              help="known-plaintext captures to bank keystreams from"),
+        Param("forge_payload_len", scaled=160, minimum=8, maximum=896,
+              help="TCP payload length of the long forged packet (capped "
+                   "so 16 fragments of the harvested keystream cover it)"),
+        Param("max_fragments", default=16,
+              help="fragment budget for the forgery (802.11 allows 16)"),
+        Param("priority", default=0, help="QoS priority / TID of the forgery"),
+    ),
+)
+def _attack_michael(ctx) -> dict[str, Any]:
+    from ..tkip import (
+        KeystreamPool,
+        TcpPacketSpec,
+        TkipSession,
+        build_protected_msdu,
+        fragment_msdu,
+        michael,
+        michael_header,
+        reassemble_fragments,
+        recover_key,
+        split_protected_msdu,
+    )
+
+    p = ctx.params
+    victim_mac = bytes.fromhex("0013d4fe0a11")
+    ap_mac = bytes.fromhex("00254b7e33c0")
+    victim = TkipSession.random(ctx.rng("victim"), victim_mac)
+    spec = TcpPacketSpec(
+        source_ip="192.168.1.101", dest_ip="203.0.113.7",
+        source_port=51324, dest_port=80, payload=b"ATTACK!",
+    )
+    plaintext = build_protected_msdu(spec, victim.mic_key, ap_mac, victim_mac)
+
+    ctx.emit(
+        "harvest",
+        f"banking keystreams from {p['num_harvest']} known-plaintext "
+        "captures (retransmissions of the decrypted packet)",
+    )
+    with ctx.timer("harvest"):
+        pool = KeystreamPool()
+        for _ in range(p["num_harvest"]):
+            frame = victim.encapsulate(spec.msdu_data(), ap_mac, victim_mac)
+            pool.add(frame, plaintext)
+
+    ctx.emit("invert", "running Michael backwards over the decrypted packet")
+    with ctx.timer("invert"):
+        data, mic, _icv = split_protected_msdu(plaintext)
+        mic_key = recover_key(michael_header(ap_mac, victim_mac) + data, mic)
+    key_correct = mic_key == victim.mic_key
+
+    forge_spec = TcpPacketSpec(
+        source_ip="203.0.113.7", dest_ip="192.168.1.101",
+        source_port=80, dest_port=51324,
+        payload=b"B" * p["forge_payload_len"],
+    )
+    forged_msdu = forge_spec.msdu_data()
+    budget_capacity = pool.capacity(max_fragments=p["max_fragments"])
+    ctx.emit(
+        "forge",
+        f"fragmenting a {len(forged_msdu)}-byte MSDU over reused "
+        f"keystreams (pool capacity {budget_capacity} bytes across "
+        f"{p['max_fragments']} fragments)",
+    )
+    with ctx.timer("forge"):
+        fragments = fragment_msdu(
+            forged_msdu, mic_key, ap_mac, victim_mac, pool,
+            priority=p["priority"], max_fragments=p["max_fragments"],
+        )
+        protected = reassemble_fragments(victim.tk, fragments)
+        received_data, received_mic = protected[:-8], protected[-8:]
+        expected = michael(
+            victim.mic_key,
+            michael_header(ap_mac, victim_mac, p["priority"]) + received_data,
+        )
+        accepted = received_mic == expected and received_data == forged_msdu
+
+    single_capacity = len(plaintext) - 4
+    return {
+        "mic_key": mic_key.hex(),
+        "key_correct": bool(key_correct),
+        "correct": bool(key_correct and accepted),
+        "harvested_keystreams": len(pool),
+        "pool_capacity_bytes": budget_capacity,
+        "forged_msdu_len": len(forged_msdu),
+        "fragments_used": len(fragments),
+        "single_keystream_capacity": single_capacity,
+        "amplification": round(len(forged_msdu) / single_capacity, 3),
+        "accepted": bool(accepted),
+    }
+
+
+# --------------------------------------------------------------------------
+# §3.3.1 — per-position bias sweep
+# --------------------------------------------------------------------------
+
+#: Headline single-byte cells a sweep reports when its range covers them:
+#: (position, value, catalog probability or None for qualitative entries).
+def _sweep_headline_cells() -> list[tuple[int, int, float]]:
+    from ..biases import KEYLEN_BIAS_16, MANTIN_SHAMIR, Z1_129, zero_bias
+
+    cells = [
+        (Z1_129.position, Z1_129.value, Z1_129.probability),
+        (MANTIN_SHAMIR.position, MANTIN_SHAMIR.value, MANTIN_SHAMIR.probability),
+        (KEYLEN_BIAS_16.position, KEYLEN_BIAS_16.value, KEYLEN_BIAS_16.probability),
+        (3, 0, zero_bias(3).probability),
+    ]
+    return cells
+
+
+@experiment(
+    "bias-sweep",
+    description="Per-position single-byte bias profile over a position range",
+    section="§3.3.1",
+    params=(
+        Param("num_keys", scaled=1 << 16, maximum=1 << 26,
+              help="independent RC4 keys to count"),
+        Param("start", default=1, help="first 1-indexed position (inclusive)"),
+        Param("end", default=64, help="last 1-indexed position (inclusive)"),
+        Param("top", default=3, help="strongest cells reported per position"),
+    ),
+)
+def _bias_sweep(ctx) -> dict[str, Any]:
+    p = ctx.params
+    start, end = p["start"], p["end"]
+    if not 1 <= start <= end <= 4096:
+        raise ExperimentParamError(
+            f"need 1 <= start <= end <= 4096, got start={start} end={end}"
+        )
+    if p["top"] < 1:
+        raise ExperimentParamError(f"top must be >= 1, got {p['top']}")
+    spec = DatasetSpec(
+        kind="single", num_keys=p["num_keys"], positions=end,
+        label="api-bias-sweep",
+    )
+    counts = _run_dataset(ctx, spec)[start - 1 : end]
+
+    ctx.emit("profile", f"profiling positions {start}..{end}")
+    with ctx.timer("profile"):
+        totals = counts.sum(axis=1, keepdims=True).astype(np.float64)
+        rel = counts / totals * 256.0 - 1.0
+        sigma = np.sqrt(255.0 / float(p["num_keys"]))
+        profile = []
+        for row in range(counts.shape[0]):
+            order = np.argsort(-np.abs(rel[row]))[: p["top"]]
+            profile.append(
+                {
+                    "position": start + row,
+                    "cells": [
+                        {
+                            "value": int(v),
+                            "probability": float(counts[row, v] / totals[row, 0]),
+                            "relative_bias": float(rel[row, v]),
+                            "z": float(rel[row, v] / sigma),
+                        }
+                        for v in order
+                    ],
+                }
+            )
+        headline = []
+        for position, value, probability in _sweep_headline_cells():
+            if not start <= position <= end:
+                continue
+            row = position - start
+            headline.append(
+                {
+                    "position": position,
+                    "value": value,
+                    "measured_probability": float(
+                        counts[row, value] / totals[row, 0]
+                    ),
+                    "model_probability": probability,
+                    "measured_relative_bias": float(rel[row, value]),
+                    "model_relative_bias": probability * 256.0 - 1.0,
+                    "z_vs_uniform": float(rel[row, value] / sigma),
+                }
+            )
+        # Sen Gupta et al.: value 0 is positively biased for 3 <= r <= 255.
+        zero_lo, zero_hi = max(start, 3), min(end, 255)
+        if zero_lo <= zero_hi:
+            zero_rel = rel[zero_lo - start : zero_hi - start + 1, 0]
+            zero_fraction = float((zero_rel > 0).mean())
+        else:
+            zero_fraction = None
+    return {
+        "num_keys": p["num_keys"],
+        "positions": [start, end],
+        "sigma_relative": float(sigma),
+        "profile": profile,
+        "headline_cells": headline,
+        "zero_bias_positive_fraction": zero_fraction,
+    }
+
+
+@experiment(
+    "bias-sweep-digraph",
+    description="Per-position consecutive-digraph profile vs the FM model",
+    section="§3.3.1",
+    params=(
+        Param("num_keys", scaled=1 << 14, maximum=1 << 24,
+              help="independent RC4 keys to count"),
+        Param("start", default=1, help="first digraph start position"),
+        Param("end", default=16, help="last digraph start position"),
+        Param("top", default=2, help="strongest cells reported per position"),
+    ),
+)
+def _bias_sweep_digraph(ctx) -> dict[str, Any]:
+    from ..biases import fm_biased_cells, position_to_counter
+
+    p = ctx.params
+    start, end = p["start"], p["end"]
+    if not 1 <= start <= end <= 512:
+        raise ExperimentParamError(
+            f"need 1 <= start <= end <= 512, got start={start} end={end}"
+        )
+    if p["top"] < 1:
+        raise ExperimentParamError(f"top must be >= 1, got {p['top']}")
+    spec = DatasetSpec(
+        kind="consec", num_keys=p["num_keys"], positions=end,
+        label="api-bias-sweep-digraph",
+    )
+    counts = _run_dataset(ctx, spec)[start - 1 : end]
+
+    ctx.emit("profile", f"profiling digraphs at positions {start}..{end}")
+    with ctx.timer("profile"):
+        total = float(p["num_keys"])
+        sigma = np.sqrt(65535.0 / total)  # std of the relative bias at p ~ 2^-16
+        profile = []
+        for row in range(counts.shape[0]):
+            r = start + row
+            table = counts[row]
+            rel = table / total * 65536.0 - 1.0
+            cells = []
+            for flat in np.argsort(-np.abs(rel), axis=None)[: p["top"]]:
+                a, b = divmod(int(flat), 256)
+                cells.append(
+                    {
+                        "values": (a, b),
+                        "probability": float(table[a, b] / total),
+                        "relative_bias": float(rel[a, b]),
+                        "z": float(rel[a, b] / sigma),
+                    }
+                )
+            fm = []
+            for (a, b), probability in fm_biased_cells(position_to_counter(r), r):
+                fm.append(
+                    {
+                        "values": (a, b),
+                        "measured_probability": float(table[a, b] / total),
+                        "model_probability": probability,
+                        "measured_relative_bias": float(rel[a, b]),
+                        "model_relative_bias": probability * 65536.0 - 1.0,
+                    }
+                )
+            profile.append({"position": r, "cells": cells, "fm_cells": fm})
+    return {
+        "num_keys": p["num_keys"],
+        "positions": [start, end],
+        "sigma_relative": float(sigma),
+        "profile": profile,
+    }
+
+
+# --------------------------------------------------------------------------
 # §6 — TLS/HTTPS cookie attack
 # --------------------------------------------------------------------------
 
@@ -579,18 +857,27 @@ def _attack_tkip(ctx) -> dict[str, Any]:
         Param("num_candidates", scaled=1 << 12, minimum=1 << 12,
               maximum=1 << 23, help="Algorithm 2 candidate list size"),
         Param("max_gap", default=128, help="ABSAB gap cap (paper: 128)"),
+        Param("browser", kind="str", default="generic",
+              help="victim client layout: generic/chrome/firefox/safari/curl"),
     ),
 )
 def _attack_https(ctx) -> dict[str, Any]:
     from ..simulate import HttpsAttackSimulation, tls_timeline
     from ..tls.bruteforce import PAPER_TEST_RATE
+    from ..tls.http import BROWSER_PROFILES
 
     p = ctx.params
+    if p["browser"] not in BROWSER_PROFILES:
+        raise ExperimentParamError(
+            f"browser must be one of {', '.join(sorted(BROWSER_PROFILES))}; "
+            f"got {p['browser']!r}"
+        )
     cookie_len = p["cookie_len"]
     if cookie_len <= 0:
         cookie_len = 3 if ctx.config.scale < 4 else 16
     sim = HttpsAttackSimulation(
-        ctx.config, cookie_len=cookie_len, max_gap=p["max_gap"]
+        ctx.config, cookie_len=cookie_len, max_gap=p["max_gap"],
+        browser=p["browser"],
     )
     timeline = tls_timeline(p["num_requests"], candidates=p["num_candidates"])
 
@@ -612,10 +899,13 @@ def _attack_https(ctx) -> dict[str, Any]:
         result = sim.attack(stats, num_candidates=p["num_candidates"])
 
     return {
+        "browser": p["browser"],
+        "cookie_charset": sim.profile.cookie_charset_name,
         "cookie_len": cookie_len,
         "num_requests": result.num_requests,
         "rank": result.rank,
         "attempts": result.attempts,
+        "pruned": result.pruned,
         "cookie": result.cookie.decode("latin-1"),
         "request_len": sim.layout.request_len,
         "cookie_span": sim.layout.cookie_span,

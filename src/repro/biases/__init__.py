@@ -47,6 +47,7 @@ from .short_term import (
     TABLE2_ALL,
     TABLE2_CONSECUTIVE,
     TABLE2_NONCONSECUTIVE,
+    Z1_129,
     Z1Z2_FAMILIES,
     Z1Z2_PAIR_PATTERNS,
     beyond_256_biases,
@@ -80,6 +81,7 @@ __all__ = [
     "TABLE2_CONSECUTIVE",
     "TABLE2_NONCONSECUTIVE",
     "W256_PAIR_BIASES",
+    "Z1_129",
     "Z1Z2_FAMILIES",
     "Z1Z2_PAIR_PATTERNS",
     "absab_alpha",

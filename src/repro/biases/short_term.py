@@ -49,6 +49,20 @@ def zero_bias(position: int) -> SingleByteBias:
     )
 
 
+#: First-byte bias for 16-byte keys: Z_1 lands on 0x81 = 129 *less*
+#: often than uniform — one of the headline per-position irregularities
+#: visible in AlFardan et al.'s Z_1 distribution plots.  The magnitude
+#: recorded here (~2^-8 (1 - 2^-6.8)) was measured by this reproduction
+#: over 2^26 random 16-byte keys; marked approximate.
+Z1_129 = SingleByteBias(
+    position=1,
+    value=0x81,
+    probability=paper_prob(-8, -6.8, -1),
+    relative_bias=-(2.0**-6.8),
+    source="AlFardan et al. (Z1 distribution); magnitude measured here",
+    approximate=True,
+)
+
 #: Key-length bias: for 16-byte keys, Z_16 is biased toward 256-16 = 240
 #: (Sen Gupta et al.).  The magnitude is taken from AlFardan et al.'s
 #: empirical estimate (~2^-8 (1 + 2^-4.8)); marked approximate.

@@ -25,9 +25,9 @@ from ..tls.attack import (
     CookieStatistics,
     run_attack,
 )
-from ..tls.bruteforce import BruteForceOracle
+from ..tls.bruteforce import BruteForceOracle, CandidatePruner
 from ..tls.cookies import random_cookie
-from ..tls.http import CookieJar
+from ..tls.http import CookieJar, browser_profile
 from ..tls.mitm import MitmCampaign
 from .sampling import sample_absab_differential_counts, sample_digraph_counts
 
@@ -43,20 +43,32 @@ class HttpsAttackSimulation:
         config: run configuration (seeding).
         cookie_len: length of the secret cookie (paper attacks 16 chars).
         max_gap: ABSAB gap cap (paper uses 128).
+        browser: victim client profile (see
+            :data:`repro.tls.http.BROWSER_PROFILES`); picks the sniffed
+            header block — hence the cookie's keystream offset — and the
+            cookie alphabet the simulated site issues to that client.
+            ``generic`` is the paper's Listing-3 layout and keeps every
+            byte identical to earlier releases.
     """
 
     config: ReproConfig
     cookie_len: int = 16
     max_gap: int = 128
+    browser: str = "generic"
 
     def __post_init__(self) -> None:
+        self.profile = browser_profile(self.browser)
         rng = self.config.rng("https-sim", "cookie")
-        secret = random_cookie(rng, self.cookie_len)
+        secret = random_cookie(
+            rng, self.cookie_len, charset=self.profile.cookie_charset
+        )
         jar = CookieJar()
         jar.set_cookie("tracking", b"abcdef0123")
         jar.set_cookie(TARGET_COOKIE, secret, secure=True)
         jar.set_cookie("prefs", b"lang-en")
-        self.campaign = MitmCampaign.prepare(jar, TARGET_COOKIE, TARGET_HOST)
+        self.campaign = MitmCampaign.prepare(
+            jar, TARGET_COOKIE, TARGET_HOST, headers=self.profile.headers
+        )
         self.secret = secret
         self.layout = CookieLayout.from_template(
             self.campaign.template, self.cookie_len
@@ -113,9 +125,25 @@ class HttpsAttackSimulation:
     def attack(
         self, stats: CookieStatistics, *, num_candidates: int = 1 << 13
     ) -> CookieAttackResult:
-        """Candidate generation + brute force; verifies against truth."""
+        """Candidate generation + brute force; verifies against truth.
+
+        Algorithm 2 enumerates over the alphabet the layout metadata
+        declares (the §6.2 RFC 6265 restriction, tightened further for
+        framework-token scenarios), and the layout-aware pruner guards
+        the oracle against candidates a broader pipeline could emit —
+        a no-op when generation already honours the layout.
+        """
         oracle = BruteForceOracle(self.secret)
-        result = run_attack(stats, oracle, num_candidates=num_candidates)
+        pruner = CandidatePruner.for_layout(
+            self.layout, self.profile.cookie_charset
+        )
+        result = run_attack(
+            stats,
+            oracle,
+            num_candidates=num_candidates,
+            charset=self.profile.cookie_charset,
+            pruner=pruner,
+        )
         if result.cookie != self.secret:
             raise AttackError("oracle accepted a wrong cookie (impossible)")
         return result

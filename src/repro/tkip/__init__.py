@@ -17,7 +17,17 @@ from .attack import (
 )
 from .crc import Crc32, crc32, icv
 from .frames import TkipFrame, decode_iv, encode_iv
-from .injection import PAPER_INJECTION_RATE, CaptureSet, InjectionCampaign
+from .injection import (
+    MAX_FRAGMENTS,
+    PAPER_INJECTION_RATE,
+    CaptureSet,
+    InjectionCampaign,
+    KeystreamPool,
+    TkipFragment,
+    fragment_msdu,
+    reassemble_fragments,
+    recover_keystream,
+)
 from .keymix import (
     per_packet_key,
     phase1,
@@ -27,7 +37,13 @@ from .keymix import (
     simplified_per_packet_key,
     tsc_split,
 )
-from .michael import michael, michael_header, recover_key
+from .michael import (
+    MichaelState,
+    message_words,
+    michael,
+    michael_header,
+    recover_key,
+)
 from .packets import (
     ICV_LEN,
     KNOWN_HEADER_LEN,
@@ -51,12 +67,16 @@ __all__ = [
     "ICV_LEN",
     "InjectionCampaign",
     "KNOWN_HEADER_LEN",
+    "KeystreamPool",
+    "MAX_FRAGMENTS",
     "MIC_LEN",
+    "MichaelState",
     "PAPER_INJECTION_RATE",
     "PerTscDistributions",
     "TKIP_SBOX",
     "TcpPacketSpec",
     "TkipAttackResult",
+    "TkipFragment",
     "TkipFrame",
     "TkipSession",
     "biased_position_strength",
@@ -66,7 +86,9 @@ __all__ = [
     "decrypt_mic_icv",
     "default_tsc_space",
     "encode_iv",
+    "fragment_msdu",
     "generate_per_tsc",
+    "message_words",
     "icv",
     "icv_positions",
     "icv_valid",
@@ -80,7 +102,9 @@ __all__ = [
     "phase2",
     "position_log_likelihoods",
     "public_key_bytes",
+    "reassemble_fragments",
     "recover_key",
+    "recover_keystream",
     "run_attack",
     "simplified_key_batch",
     "simplified_per_packet_key",

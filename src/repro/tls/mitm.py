@@ -23,7 +23,12 @@ import numpy as np
 
 from ..errors import TlsError
 from .connection import RecordSniffer, TlsConnection
-from .http import CookieJar, HttpRequestTemplate, pad_to_alignment
+from .http import (
+    DEFAULT_HEADERS,
+    CookieJar,
+    HttpRequestTemplate,
+    pad_to_alignment,
+)
 
 #: Requests/second the paper measured with an idle browser (§6.3).
 PAPER_REQUEST_RATE = 4450.0
@@ -58,6 +63,7 @@ class MitmCampaign:
         align_to: int | None = None,
         modulus: int = 256,
         stream_align: bool = True,
+        headers: tuple[tuple[str, str], ...] | None = None,
     ) -> "MitmCampaign":
         """Perform the §6.1 jar manipulation and build the campaign.
 
@@ -68,6 +74,10 @@ class MitmCampaign:
         sees identical PRGA counter values (the paper's 512-byte
         requests, §6.3).  Record padding goes into a trailing injected
         cookie, after the target, so it never moves the cookie.
+
+        ``headers`` overrides the victim's sniffed header block (one of
+        the :data:`repro.tls.http.BROWSER_PROFILES` layouts); ``None``
+        keeps the generic Listing-3 template.
         """
         jar.attacker_isolate(target_cookie)
         injected = injected or [
@@ -78,6 +88,7 @@ class MitmCampaign:
         cookie_value = jar.cookies[target_cookie]
         template = HttpRequestTemplate(
             host=host,
+            headers=DEFAULT_HEADERS if headers is None else tuple(headers),
             cookie_name=target_cookie,
             injected_cookies=tuple(
                 (name, value.decode("latin-1")) for name, value in injected

@@ -44,6 +44,9 @@ TINY_OVERRIDES = {
         max_candidates=1 << 16,
     ),
     "attack-https": dict(cookie_len=2, num_candidates=1 << 12, max_gap=32),
+    "attack-michael": dict(num_harvest=6, forge_payload_len=96),
+    "bias-sweep": dict(num_keys=4096, end=8),
+    "bias-sweep-digraph": dict(num_keys=1024, end=4),
 }
 
 
@@ -58,7 +61,7 @@ def test_registry_inventory_is_covered():
         "every registered experiment needs a tiny-scale override entry "
         "(and every entry a registration)"
     )
-    assert len(names) >= 8
+    assert len(names) >= 13
 
 
 @pytest.mark.parametrize("name", sorted(TINY_OVERRIDES))
@@ -90,6 +93,35 @@ def test_attacks_succeed_at_tiny_scale(session):
     https = session.run("attack-https", **TINY_OVERRIDES["attack-https"])
     assert https.metrics["rank"] >= 0
     assert len(https.metrics["cookie"]) == 2
+    michael = session.run("attack-michael", **TINY_OVERRIDES["attack-michael"])
+    assert michael.metrics["key_correct"] is True
+    assert michael.metrics["accepted"] is True
+    assert michael.metrics["fragments_used"] >= 2
+
+
+def test_attack_https_browser_scenarios(session):
+    """Every browser layout runs, shifts the cookie offset, and keeps
+    the recovery working; unknown browsers fail with a typed error."""
+    spans = {}
+    for browser in ("generic", "firefox", "curl"):
+        result = session.run(
+            "attack-https", browser=browser, **TINY_OVERRIDES["attack-https"]
+        )
+        assert result.metrics["browser"] == browser
+        assert len(result.metrics["cookie"]) == 2
+        spans[browser] = tuple(result.metrics["cookie_span"])
+    assert len(set(spans.values())) == 3
+    with pytest.raises(ExperimentParamError, match="browser must be"):
+        session.run(
+            "attack-https", browser="netscape", **TINY_OVERRIDES["attack-https"]
+        )
+
+
+def test_bias_sweep_range_validation(session):
+    with pytest.raises(ExperimentParamError, match="start <= end"):
+        session.run("bias-sweep", num_keys=256, start=9, end=8)
+    with pytest.raises(ExperimentParamError, match="start <= end"):
+        session.run("bias-sweep-digraph", num_keys=256, start=0, end=4)
 
 
 def test_unknown_experiment_raises_typed_error(session):

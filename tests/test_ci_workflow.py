@@ -72,6 +72,24 @@ def test_verify_job_smokes_the_experiment_api(workflow):
     assert "ExperimentResult" in runs, "the emitted JSON must be validated"
 
 
+def test_verify_job_smokes_the_scenario_matrix(workflow):
+    """CI must run every scenario-matrix registry entry at tiny scale on
+    both legs of the REPRO_NATIVE matrix (the step lives inside the
+    matrixed verify job), validating each emitted record."""
+    job = workflow["jobs"]["verify"]
+    assert sorted(job["strategy"]["matrix"]["native"]) == ["0", "1"]
+    runs = _run_lines(job)
+    for experiment in ("attack-michael", "bias-sweep", "bias-sweep-digraph"):
+        assert experiment in runs, f"scenario smoke must run {experiment}"
+    assert "browser=firefox" in runs, "a non-default browser layout must run"
+    scenario_steps = [
+        s for s in _steps(job) if "attack-michael" in s.get("run", "")
+    ]
+    assert "ExperimentResult" in scenario_steps[0]["run"], (
+        "scenario smoke must validate the emitted JSON records"
+    )
+
+
 def test_verify_job_has_soft_fail_regression_step(workflow):
     job = workflow["jobs"]["verify"]
     check_steps = [

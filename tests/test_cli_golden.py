@@ -1,0 +1,100 @@
+"""Golden CLI contract for the scenario-matrix registry entries.
+
+For each new experiment, ``run <name> --json -`` must emit a record that
+round-trips through ``canonical_json`` bit-identically and carries every
+declared parameter — the machine-readable contract scripts rely on.
+"""
+
+import json
+
+import pytest
+
+from repro.api import ExperimentResult, get_experiment
+from repro.utils.serialization import canonical_json
+from repro.__main__ import main
+from test_statistical_fidelity import assert_within_ci
+
+#: (experiment, CLI --param overrides) — tiny-scale runs of every
+#: scenario-matrix entry, including a non-default browser layout.
+GOLDEN_RUNS = [
+    ("attack-michael", {"num_harvest": "6", "forge_payload_len": "96"}),
+    ("bias-sweep", {"num_keys": "4096", "end": "8"}),
+    ("bias-sweep-digraph", {"num_keys": "1024", "end": "4"}),
+    (
+        "attack-https",
+        {
+            "browser": "firefox",
+            "cookie_len": "2",
+            "num_candidates": "4096",
+            "max_gap": "32",
+        },
+    ),
+]
+
+
+def _run_json(capsys, name: str, params: dict[str, str]) -> str:
+    argv = ["--seed", "97", "run", name, "--quiet", "--json", "-"]
+    for key, value in params.items():
+        argv += ["--param", f"{key}={value}"]
+    assert main(argv) == 0
+    return capsys.readouterr().out.strip()
+
+
+@pytest.mark.parametrize("name,params", GOLDEN_RUNS, ids=[r[0] for r in GOLDEN_RUNS])
+def test_run_json_round_trips_bit_identically(capsys, name, params):
+    text = _run_json(capsys, name, params)
+    result = ExperimentResult.from_json(text)
+    assert result.experiment == name
+    # Bit-identical canonical round-trip, twice over.
+    assert result.to_json() == text
+    assert canonical_json(json.loads(text)) == text
+    assert ExperimentResult.from_json(result.to_json()) == result
+
+
+@pytest.mark.parametrize("name,params", GOLDEN_RUNS, ids=[r[0] for r in GOLDEN_RUNS])
+def test_run_json_carries_declared_params(capsys, name, params):
+    text = _run_json(capsys, name, params)
+    result = ExperimentResult.from_json(text)
+    declared = {param.name for param in get_experiment(name).params}
+    assert set(result.params) == declared
+    # CLI string overrides arrive coerced to their declared kinds.
+    for key, value in params.items():
+        resolved = result.params[key]
+        assert resolved == (value if isinstance(resolved, str) else int(value))
+
+
+def test_browser_layouts_shift_cookie_offset(capsys):
+    """The browser scenarios genuinely change the keystream layout."""
+    spans = {}
+    for browser in ("generic", "firefox", "curl"):
+        text = _run_json(
+            capsys,
+            "attack-https",
+            {
+                "browser": browser,
+                "cookie_len": "2",
+                "num_candidates": "4096",
+                "max_gap": "32",
+            },
+        )
+        result = ExperimentResult.from_json(text)
+        assert result.metrics["browser"] == browser
+        spans[browser] = tuple(result.metrics["cookie_span"])
+    assert len(set(spans.values())) == 3, f"layouts must differ: {spans}"
+
+
+def test_bias_sweep_headline_cells_within_ci(capsys):
+    """The emitted record's headline counts obey the binomial CI —
+    exercising the reusable fidelity helper from another module."""
+    text = _run_json(capsys, "bias-sweep", {"num_keys": "65536", "end": "16"})
+    result = ExperimentResult.from_json(text)
+    num_keys = result.params["num_keys"]
+    for cell in result.metrics["headline_cells"]:
+        observed = round(cell["measured_probability"] * num_keys)
+        assert_within_ci(
+            observed,
+            num_keys,
+            cell["model_probability"],
+            z=4.5,
+            label=f"Z{cell['position']}={cell['value']:#04x}",
+        )

@@ -2,14 +2,22 @@
 
 Examples are user-facing documentation; breaking one is a release
 blocker, so they are executed as subprocesses exactly as a user would.
+The inventory is derived from the experiment registry, not a hand-kept
+list: every scenario-level experiment (everything except the raw
+``dataset-*`` kinds, which are library plumbing the API tests cover)
+must be narrated by at least one example script, and every script on
+disk must reference a registered experiment.
 """
 
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
+
+from repro.api import list_experiments
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
@@ -26,16 +34,38 @@ def _run(name: str, scale: str = "0.25") -> subprocess.CompletedProcess:
     )
 
 
-def test_example_inventory():
-    """The README promises at least these runnable examples."""
-    expected = {
-        "quickstart.py",
-        "wpa_tkip_attack.py",
-        "https_cookie_attack.py",
-        "bias_hunting.py",
-        "absab_gap_study.py",
-    }
-    assert expected <= set(ALL_EXAMPLES)
+def _example_sources() -> dict[str, str]:
+    return {name: (EXAMPLES_DIR / name).read_text() for name in ALL_EXAMPLES}
+
+
+def _mentions(experiment: str, text: str) -> bool:
+    """Whole-name match, so 'bias-sweep' is not satisfied by a file that
+    only mentions 'bias-sweep-digraph'."""
+    return re.search(rf"(?<![\w-]){re.escape(experiment)}(?![\w-])", text) is not None
+
+
+def test_every_scenario_experiment_has_an_example():
+    """Registry-driven inventory: adding a scenario experiment without an
+    example (or deleting an example) fails here, with no list to keep."""
+    sources = _example_sources()
+    missing = [
+        spec.name
+        for spec in list_experiments()
+        if not spec.name.startswith("dataset-")
+        and not any(_mentions(spec.name, text) for text in sources.values())
+    ]
+    assert not missing, (
+        f"registered scenario experiments with no example narrating them: "
+        f"{missing}"
+    )
+
+
+def test_every_example_references_a_registered_experiment():
+    registered = {spec.name for spec in list_experiments()}
+    for name, text in _example_sources().items():
+        assert any(_mentions(exp, text) for exp in registered), (
+            f"{name} does not reference any registered experiment"
+        )
 
 
 @pytest.mark.parametrize("name", ALL_EXAMPLES)
@@ -58,3 +88,14 @@ def test_https_example_recovers_cookie():
 def test_quickstart_recovers_byte():
     result = _run("quickstart.py", scale="1.0")
     assert "recovered (argmax):    0x42" in result.stdout
+
+
+def test_scenario_matrix_walks_all_scenarios():
+    result = _run("scenario_matrix.py")
+    assert result.returncode == 0, result.stdout + result.stderr
+    out = result.stdout
+    assert "key recovered=True" in out
+    assert "accepted=True" in out
+    for browser in ("generic", "firefox", "curl"):
+        assert browser in out
+    assert "Z2=0x00" in out

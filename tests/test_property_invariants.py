@@ -14,7 +14,10 @@ from repro.core.likelihood.absab import absab_log_likelihoods
 from repro.core.candidates.single_list import algorithm1
 from repro.simulate import sample_single_byte_counts
 from repro.tkip.crc import Crc32, crc32, icv
-from repro.tkip.michael import michael
+from repro.tkip.michael import MichaelState, message_words, michael, recover_key
+from repro.tls.attack import CookieLayout
+from repro.tls.bruteforce import CandidatePruner
+from repro.tls.http import BROWSER_PROFILES
 
 
 class TestLikelihoodEquivariance:
@@ -123,6 +126,90 @@ class TestMichaelAvalanche:
         flipped = bytearray(key)
         flipped[bit // 8] ^= 1 << (bit % 8)
         assert michael(bytes(flipped), msg) != michael(key, msg)
+
+
+class TestMichaelInversion:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        key=st.binary(min_size=8, max_size=8),
+        msg=st.binary(max_size=64),
+    )
+    def test_recover_key_round_trips_michael(self, key, msg):
+        """Every Michael step is invertible, so key -> MIC -> key is the
+        identity for any key and message — the §2.2 attack's premise."""
+        assert recover_key(msg, michael(key, msg)) == key
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        left=st.integers(0, 2**32 - 1),
+        right=st.integers(0, 2**32 - 1),
+        word=st.integers(0, 2**32 - 1),
+    )
+    def test_state_mix_unmix_inverse(self, left, right, word):
+        state = MichaelState(left, right)
+        state.mix(word).unmix(word)
+        assert (state.left, state.right) == (left, right)
+
+    @settings(max_examples=20, deadline=None)
+    @given(msg=st.binary(max_size=48))
+    def test_padding_marker_and_word_alignment(self, msg):
+        words = message_words(msg)
+        padded_len = 4 * len(words)
+        assert padded_len % 4 == 0
+        # 0x5a marker right after the message, then >= 4 zero bytes.
+        assert padded_len >= len(msg) + 5
+
+
+class TestBrowserLayouts:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        profile=st.sampled_from(sorted(BROWSER_PROFILES)),
+        cookie_len=st.integers(1, 32),
+        host=st.from_regex(r"[a-z]{1,12}\.com", fullmatch=True),
+    )
+    def test_cookie_offset_matches_layout_metadata(
+        self, profile, cookie_len, host
+    ):
+        """Every browser template's built request must carry the cookie
+        exactly where the layout metadata used by the pruner says."""
+        template = BROWSER_PROFILES[profile].template(host)
+        layout = CookieLayout.from_template(template, cookie_len)
+        start, end = layout.cookie_span
+        assert start == len(template.prefix()) + 1
+        assert end - start + 1 == cookie_len == layout.cookie_len
+        cookie = bytes(range(65, 65 + min(cookie_len, 26)))
+        cookie = (cookie * (cookie_len // len(cookie) + 1))[:cookie_len]
+        request = template.build(cookie)
+        assert request[start - 1 : end] == cookie
+        assert len(request) == layout.request_len
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        profile=st.sampled_from(sorted(BROWSER_PROFILES)),
+        cookie_len=st.integers(1, 16),
+        data=st.data(),
+    )
+    def test_pruner_admits_exactly_layout_consistent_values(
+        self, profile, cookie_len, data
+    ):
+        charset = BROWSER_PROFILES[profile].cookie_charset
+        layout = CookieLayout.from_template(
+            BROWSER_PROFILES[profile].template("site.com"), cookie_len
+        )
+        pruner = CandidatePruner.for_layout(layout, charset)
+        good = bytes(
+            data.draw(st.sampled_from(charset)) for _ in range(cookie_len)
+        )
+        assert pruner.admits(good)
+        assert not pruner.admits(good + good[:1])  # wrong length
+        forbidden = data.draw(
+            st.integers(0, 255).filter(lambda b: b not in set(charset))
+        )
+        bad = bytes([forbidden]) + good[1:]
+        assert not pruner.admits(bad)
+        kept = list(pruner.filter([good, bad, good]))
+        assert kept == [good, good]
+        assert pruner.pruned == 1
 
 
 class TestCandidateCompleteness:

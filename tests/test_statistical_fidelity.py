@@ -1,0 +1,254 @@
+"""Statistical-fidelity harness: headline numbers inside binomial CIs.
+
+Seeded Monte-Carlo checks that the reproduction's headline quantities —
+the Mantin–Shamir Z2=0 and the Z1=0x81 / Z16=0xf0 single-byte biases
+(measured from real keystream), the Fluhrer–McGrew digraph cells (via
+the exact sufficient-statistic samplers at paper-like sample counts),
+the ABSAB alpha(g) model, and the small-scale TKIP success rate — fall
+inside binomial confidence intervals around their reference values.
+
+Everything is deterministic under the fixed seeds used here, and the
+keystream-derived counts are bit-identical across backends (numpy /
+native, any thread count), so these tests behave the same on every CI
+leg.
+
+:func:`assert_within_ci` is the reusable helper; other test modules
+import it (``from test_statistical_fidelity import assert_within_ci``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.biases import (
+    KEYLEN_BIAS_16,
+    MANTIN_SHAMIR,
+    Z1_129,
+    absab_alpha,
+    fm_biased_cells,
+    fm_digraph_distribution,
+)
+from repro.config import ReproConfig
+from repro.datasets import DatasetSpec
+from repro.errors import AttackError
+from repro.simulate import (
+    sample_absab_differential_counts,
+    sample_digraph_counts,
+    sampled_capture,
+)
+from repro.api import Session
+
+UNIFORM_BYTE = 1.0 / 256.0
+
+
+def assert_within_ci(
+    observed: int,
+    trials: int,
+    p: float,
+    *,
+    z: float = 4.0,
+    label: str = "",
+) -> None:
+    """Assert an observed count sits inside the binomial z-sigma CI.
+
+    Under H0 "successes ~ Binomial(trials, p)", the count deviates from
+    ``trials * p`` by more than ``z * sqrt(trials * p * (1 - p))`` with
+    probability ~2 * Phi(-z) (about 6e-5 at the default z=4) — and the
+    seeded inputs used by this suite make each check deterministic
+    anyway.  Reusable: import it from other test modules for any
+    count-vs-model comparison.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"reference probability must be in (0, 1), got {p}")
+    expected = trials * p
+    sd = math.sqrt(trials * p * (1.0 - p))
+    deviation = (observed - expected) / sd
+    assert abs(deviation) <= z, (
+        f"{label or 'observed count'}: {observed} is {deviation:+.2f} sd from "
+        f"the expected {expected:.1f} (Binomial({trials}, {p:.3e}), "
+        f"allowed |z| <= {z})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Single-byte headline biases, measured from real keystream.
+# ---------------------------------------------------------------------------
+
+FIDELITY_SEED = 1337
+SINGLE_KEYS = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def single_counts() -> np.ndarray:
+    """Real-keystream single-byte counts over 2^20 seeded keys.
+
+    Bit-identical across backends and thread counts (the dataset
+    equivalence suite guarantees it), so every check below is exact.
+    """
+    session = Session(ReproConfig(seed=FIDELITY_SEED))
+    return session.dataset(
+        DatasetSpec(
+            kind="single", num_keys=SINGLE_KEYS, positions=16,
+            label="fidelity-single",
+        )
+    )
+
+
+def test_mantin_shamir_z2_zero(single_counts):
+    """Pr[Z2 = 0] = 2 * 2^-8 — the paper's broadcast-attack anchor."""
+    observed = int(single_counts[1, 0])
+    assert_within_ci(
+        observed, SINGLE_KEYS, MANTIN_SHAMIR.probability,
+        label="Z2 = 0x00",
+    )
+    # The doubled probability is unmistakable at this sample count:
+    # ~33 sd above uniform.
+    assert observed > SINGLE_KEYS * UNIFORM_BYTE * 1.5
+
+
+def test_keylength_z16_240(single_counts):
+    """Pr[Z16 = 240] ~ 2^-8 (1 + 2^-4.8) for 16-byte keys."""
+    observed = int(single_counts[15, 240])
+    assert_within_ci(
+        observed, SINGLE_KEYS, KEYLEN_BIAS_16.probability,
+        label="Z16 = 0xf0",
+    )
+    # Direction: positively biased against uniform.
+    assert observed > SINGLE_KEYS * UNIFORM_BYTE
+
+
+def test_z1_0x81_bias(single_counts):
+    """Pr[Z1 = 0x81] ~ 2^-8 (1 - 2^-6.8): the first byte avoids 129."""
+    observed = int(single_counts[0, 0x81])
+    assert_within_ci(
+        observed, SINGLE_KEYS, Z1_129.probability,
+        label="Z1 = 0x81",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fluhrer–McGrew digraphs via the exact sufficient-statistic sampler.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("i", [1, 2, 255])
+def test_fm_digraph_cells_at_paper_scale(i):
+    """Sampled digraph counts at N = 2^28 reproduce every Table 1 cell.
+
+    The sampler is the documented substitution for paper-scale captures
+    (the estimators consume only these counts), so its cell counts must
+    sit in the binomial CI of the Fluhrer–McGrew model probabilities.
+    """
+    n = 1 << 28
+    counts = sample_digraph_counts(
+        fm_digraph_distribution(i), n, (0, 0), seed=FIDELITY_SEED + i
+    )
+    assert int(counts.sum()) == n
+    for (first, second), probability in fm_biased_cells(i):
+        assert_within_ci(
+            int(counts[first, second]), n, probability,
+            z=4.5, label=f"FM cell ({first},{second}) at i={i}",
+        )
+
+
+def test_fm_strongest_cell_direction():
+    """The doubled-strength (0,0) i=1 cell shows its positive sign.
+
+    At N = 2^34 the 2^-16 (1 + 2^-7) cell sits ~4 sd above the uniform
+    2^-16 expectation, so the direction is visible, not just the CI.
+    """
+    n = 1 << 34
+    counts = sample_digraph_counts(
+        fm_digraph_distribution(1), n, (0, 0), seed=FIDELITY_SEED
+    )
+    cell = int(counts[0, 0])
+    assert_within_ci(
+        cell, n, float(fm_digraph_distribution(1)[0, 0]),
+        z=4.5, label="FM (0,0) i=1",
+    )
+    assert cell > n * 2.0**-16, "FM (0,0) must exceed the uniform count"
+
+
+def test_absab_alpha_model():
+    """Sampled ABSAB differential counts match alpha(g) (paper eq 19)."""
+    n = 1 << 26
+    for gap in (0, 2, 16):
+        counts = sample_absab_differential_counts(
+            gap, n, (0, 0), seed=FIDELITY_SEED + gap
+        )
+        assert_within_ci(
+            int(counts[0]), n, absab_alpha(gap),
+            label=f"ABSAB (0,0) differential at g={gap}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# TKIP success rate at small scale (Fig 8 methodology).
+# ---------------------------------------------------------------------------
+
+#: Reference success probability of the §5 recovery at the parameters
+#: below (nature == attacker, 4 TSC values x 2^10 keys, 20 packets per
+#: TSC, 2^13 candidate budget), estimated from 200 independent seeded
+#: trials (133/200).
+TKIP_SUCCESS_P = 0.665
+TKIP_TRIALS = 24
+TKIP_PACKETS_PER_TSC = 20
+
+
+def test_tkip_success_rate_small_scale():
+    """Repeated seeded attacks succeed at the calibrated reference rate.
+
+    This is the methodology behind the paper's Figure 8: sample the
+    per-TSC multinomials (exactly equivalent to capturing that many
+    packets), run the real recovery machinery, and count successes.
+    The success count over 24 trials must fall inside the binomial CI
+    around the committed reference probability.
+    """
+    from repro.tkip import (
+        TcpPacketSpec,
+        TkipSession,
+        build_protected_msdu,
+        default_tsc_space,
+        generate_per_tsc,
+    )
+    from repro.tkip.attack import run_attack
+
+    config = ReproConfig(seed=FIDELITY_SEED)
+    ap = bytes.fromhex("00254b7e33c0")
+    victim_mac = bytes.fromhex("0013d4fe0a11")
+    victim = TkipSession.random(config.rng("fidelity", "victim"), victim_mac)
+    spec = TcpPacketSpec(
+        source_ip="192.168.1.101", dest_ip="203.0.113.7",
+        source_port=51324, dest_port=80, payload=b"ATTACK!",
+    )
+    plaintext = build_protected_msdu(spec, victim.mic_key, ap, victim_mac)
+    known = spec.msdu_data()
+    true_mic = plaintext[len(known) : len(known) + 8]
+    per_tsc = generate_per_tsc(
+        config, default_tsc_space(4), 1 << 10, length=len(plaintext),
+        label="fidelity-pertsc",
+    )
+    unknown = range(len(known) + 1, len(plaintext) + 1)
+
+    successes = 0
+    for trial in range(TKIP_TRIALS):
+        capture = sampled_capture(
+            per_tsc, plaintext, unknown,
+            packets_per_tsc=TKIP_PACKETS_PER_TSC,
+            seed=config.rng("fidelity", "trial", TKIP_PACKETS_PER_TSC, trial),
+        )
+        try:
+            result = run_attack(
+                capture, per_tsc, known, ap, victim_mac,
+                max_candidates=1 << 13, true_mic=true_mic,
+            )
+            successes += bool(result.correct)
+        except AttackError:
+            pass
+    assert_within_ci(
+        successes, TKIP_TRIALS, TKIP_SUCCESS_P,
+        z=3.0, label="TKIP small-scale success count",
+    )

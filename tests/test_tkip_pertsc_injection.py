@@ -128,3 +128,125 @@ class TestInjectionCampaign:
         # The paper's 9.5 * 2^20 captures at 2500 pps is about 1.1 hours.
         hours = campaign.wall_clock_seconds(int(9.5 * 2**20)) / 3600
         assert 1.0 < hours < 1.2
+
+
+class TestKeystreamReuse:
+    """Beck's fragmentation-based keystream reuse (injection.py)."""
+
+    def _setup(self, rng):
+        from repro.tkip import KeystreamPool, build_protected_msdu
+
+        session = TkipSession.random(rng, TA)
+        spec = TcpPacketSpec(
+            source_ip="192.168.1.101",
+            dest_ip="203.0.113.7",
+            source_port=51324,
+            dest_port=80,
+            payload=b"ATTACK!",
+        )
+        plaintext = build_protected_msdu(spec, session.mic_key, DA, TA)
+        pool = KeystreamPool()
+        for _ in range(6):
+            frame = session.encapsulate(spec.msdu_data(), DA, TA)
+            pool.add(frame, plaintext)
+        return session, spec, plaintext, pool
+
+    def test_recovered_keystream_decrypts_the_frame(self, rng):
+        from repro.tkip import recover_keystream
+
+        session, spec, plaintext, _ = self._setup(rng)
+        frame = session.encapsulate(spec.msdu_data(), DA, TA)
+        keystream = recover_keystream(frame, plaintext)
+        decrypted = bytes(c ^ k for c, k in zip(frame.ciphertext, keystream))
+        assert decrypted == plaintext
+
+    def test_recover_keystream_length_mismatch(self, rng):
+        from repro.errors import AttackError
+        from repro.tkip import recover_keystream
+
+        session, spec, plaintext, _ = self._setup(rng)
+        frame = session.encapsulate(spec.msdu_data(), DA, TA)
+        with pytest.raises(AttackError, match="length"):
+            recover_keystream(frame, plaintext + b"x")
+
+    def test_fragmented_forgery_reassembles_and_verifies(self, rng):
+        from repro.tkip import (
+            fragment_msdu,
+            michael,
+            michael_header,
+            reassemble_fragments,
+            recover_key,
+            split_protected_msdu,
+        )
+
+        session, spec, plaintext, pool = self._setup(rng)
+        data, mic, _ = split_protected_msdu(plaintext)
+        mic_key = recover_key(michael_header(DA, TA) + data, mic)
+        assert mic_key == session.mic_key
+        # Forge an MSDU longer than any single banked keystream.
+        forged = TcpPacketSpec(
+            source_ip="203.0.113.7",
+            dest_ip="192.168.1.101",
+            source_port=80,
+            dest_port=51324,
+            payload=b"Z" * 120,
+        ).msdu_data()
+        assert len(forged) > len(plaintext)
+        fragments = fragment_msdu(forged, mic_key, DA, TA, pool)
+        assert len(fragments) >= 2
+        assert fragments[-1].more is False
+        assert all(f.more for f in fragments[:-1])
+        protected = reassemble_fragments(session.tk, fragments)
+        received, received_mic = protected[:-8], protected[-8:]
+        assert received == forged
+        assert received_mic == michael(
+            session.mic_key, michael_header(DA, TA) + received
+        )
+
+    def test_reassembly_rejects_reordered_fragments(self, rng):
+        from repro.errors import AttackError
+        from repro.tkip import fragment_msdu, reassemble_fragments
+
+        session, spec, plaintext, pool = self._setup(rng)
+        forged = b"A" * 150
+        fragments = fragment_msdu(forged, session.mic_key, DA, TA, pool)
+        assert len(fragments) >= 3
+        swapped = [fragments[1], fragments[0]] + fragments[2:]
+        with pytest.raises(AttackError, match="index"):
+            reassemble_fragments(session.tk, swapped)
+
+    def test_fragment_budget_enforced(self, rng):
+        from repro.errors import AttackError
+        from repro.tkip import fragment_msdu
+
+        session, spec, plaintext, pool = self._setup(rng)
+        capacity = pool.capacity(max_fragments=1)
+        with pytest.raises(AttackError, match="fragments"):
+            fragment_msdu(
+                b"B" * (capacity + 1), session.mic_key, DA, TA, pool,
+                max_fragments=1,
+            )
+
+    def test_tampered_fragment_fails_icv(self, rng):
+        from repro.errors import AttackError
+        from repro.tkip import (
+            TkipFragment,
+            fragment_msdu,
+            reassemble_fragments,
+        )
+        from repro.tkip.frames import TkipFrame
+
+        session, spec, plaintext, pool = self._setup(rng)
+        fragments = fragment_msdu(b"C" * 100, session.mic_key, DA, TA, pool)
+        frame = fragments[0].frame
+        flipped = bytes([frame.ciphertext[0] ^ 1]) + frame.ciphertext[1:]
+        tampered = TkipFragment(
+            frame=TkipFrame(
+                ta=frame.ta, da=frame.da, sa=frame.sa, tsc=frame.tsc,
+                ciphertext=flipped, priority=frame.priority,
+            ),
+            index=0,
+            more=fragments[0].more,
+        )
+        with pytest.raises(AttackError, match="ICV"):
+            reassemble_fragments(session.tk, [tampered] + fragments[1:])

@@ -134,3 +134,48 @@ class TestCookieJar:
         jar = self._jar()
         jar.remove_cookie("ghost")
         assert len(jar.order) == 3
+
+
+class TestBrowserProfiles:
+    def test_known_profiles(self):
+        from repro.tls import BROWSER_PROFILES
+
+        assert {"generic", "chrome", "firefox", "safari", "curl"} <= set(
+            BROWSER_PROFILES
+        )
+
+    def test_generic_profile_matches_default_template(self):
+        from repro.tls import BROWSER_PROFILES
+
+        template = BROWSER_PROFILES["generic"].template("site.com")
+        assert template.prefix() == HttpRequestTemplate(host="site.com").prefix()
+
+    def test_profiles_shift_the_cookie_offset(self):
+        from repro.tls import BROWSER_PROFILES
+
+        offsets = {
+            name: len(profile.template("site.com").prefix())
+            for name, profile in BROWSER_PROFILES.items()
+        }
+        assert len(set(offsets.values())) == len(offsets), offsets
+
+    def test_profile_charsets_resolve(self):
+        from repro.tls import BROWSER_PROFILES, CHARSETS
+
+        for profile in BROWSER_PROFILES.values():
+            assert profile.cookie_charset == CHARSETS[profile.cookie_charset_name]
+
+    def test_unknown_profile_raises(self):
+        from repro.tls import browser_profile
+
+        with pytest.raises(TlsError, match="unknown browser"):
+            browser_profile("netscape")
+
+    def test_charset_registry(self):
+        from repro.tls import HEX_CHARSET, charset
+
+        assert charset("hex") == HEX_CHARSET
+        assert len(HEX_CHARSET) == 16
+        assert set(HEX_CHARSET) < set(COOKIE_CHARSET)
+        with pytest.raises(ValueError, match="unknown cookie charset"):
+            charset("morse")
