@@ -44,7 +44,11 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 
 #: Benchmark files whose results feed the BENCH json.
-BENCH_FILES = ["test_core_throughput.py", "test_dataset_pipeline.py"]
+BENCH_FILES = [
+    "test_core_throughput.py",
+    "test_dataset_pipeline.py",
+    "test_capture_throughput.py",
+]
 
 #: -k expression selecting the <60 s smoke subset.
 SMOKE_FILTER = (

@@ -6,8 +6,12 @@ available from the CLI:
 
     python -m repro run bias-sweep --param end=32
     python -m repro run bias-sweep-digraph
+    python -m repro run bias-sweep-pertsc --param num_tsc=4
     python -m repro run attack-michael --param forge_payload_len=256
     python -m repro run attack-https --param browser=firefox
+    python -m repro run attack-https --param capture=batched \
+        --param num_requests=16384 --param reconnect_every=8 \
+        --param cookie_len=2 --param num_candidates=8192
 
 The matrix this example walks:
 
@@ -16,6 +20,9 @@ The matrix this example walks:
   Z16=0xf0 up);
 - ``bias-sweep-digraph`` (§3.3.1) — consecutive-digraph profile vs the
   generalized Fluhrer–McGrew model;
+- ``bias-sweep-pertsc`` (§5.1) — per-TSC keystream sweeps on the
+  batched capture engine, exposing the TSC-dependent Paterson biases
+  the WPA-TKIP attack feeds on;
 - ``attack-michael`` (§2.2/§5.3) — inverse-Michael key recovery from a
   decrypted packet, then Beck's fragmentation trick: a long packet
   forged from short reused keystreams;
@@ -52,6 +59,14 @@ def main() -> None:
           f"{tuple(strongest['values'])} "
           f"(rel {strongest['relative_bias']:+.3f}); "
           f"{len(row['fm_cells'])} FM model cells compared per position")
+
+    # --- per-TSC sweeps on the batched capture engine (§5.1) ------------
+    pertsc = session.run("bias-sweep-pertsc", num_tsc=4, end=16)
+    m = pertsc.metrics
+    print(f"bias-sweep-pertsc: {m['num_tsc']} TSC values x "
+          f"{m['packets_per_tsc']} keystreams via the capture engine; "
+          f"TSC-dependent positions {m['tsc_dependent_positions']} "
+          f"(spread > 4 sigma across TSC)")
 
     # --- Michael key recovery + fragmentation forgery (§2.2/§5.3) -------
     michael = session.run("attack-michael")

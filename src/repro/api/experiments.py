@@ -15,7 +15,9 @@ result matrix:
   Beck's fragmentation-based keystream-reuse forgery (§2.2, §5.3;
   *Enhanced TKIP Michael Attacks*, 2010);
 - ``bias-sweep`` — per-position single-byte bias profiles over a
-  configurable position range via the fused counting kernels (§3.3.1).
+  configurable position range via the fused counting kernels (§3.3.1);
+- ``bias-sweep-pertsc`` — per-TSC keystream sweeps riding the batched
+  capture engine (§5.1), exposing the TSC-dependent Paterson biases.
 
 Implementations receive a :class:`~repro.api.session.RunContext` and
 return a JSON-able metrics dict; parameters are declared on the spec so
@@ -487,6 +489,13 @@ def _absab_gap(ctx) -> dict[str, Any]:
               help="candidate list cap for the CRC-pruned search"),
         Param("forge", kind="bool", default=True,
               help="forge a packet with the recovered MIC key"),
+        Param("capture", kind="str", default="sampled",
+              help="capture fidelity: sampled (statistic-level "
+                   "multinomials) or batched (keystream-level engine)"),
+        Param("batch_size", default=4096,
+              help="packets per engine batch (capture=batched)"),
+        Param("checkpoint", kind="str", default="",
+              help="resumable-capture checkpoint path (capture=batched)"),
     ),
 )
 def _attack_tkip(ctx) -> dict[str, Any]:
@@ -499,6 +508,12 @@ def _attack_tkip(ctx) -> dict[str, Any]:
     )
 
     p = ctx.params
+    if p["capture"] not in ("sampled", "batched"):
+        raise ExperimentParamError(
+            f"capture must be 'sampled' or 'batched', got {p['capture']!r}"
+        )
+    if p["capture"] != "batched" and p["checkpoint"]:
+        raise ExperimentParamError("checkpoint requires capture=batched")
     sim = WifiAttackSimulation(ctx.config)
     plaintext = sim.true_plaintext
 
@@ -520,17 +535,27 @@ def _attack_tkip(ctx) -> dict[str, Any]:
     ctx.emit(
         "capture",
         f"capturing {total_packets} identical-packet encryptions "
+        f"via {p['capture']} capture "
         f"(~{timeline.capture_hours:.2f} h on-air at 2500 pkts/s)",
         total_packets=total_packets,
     )
     with ctx.timer("capture"):
-        capture = sampled_capture(
-            per_tsc,
-            plaintext,
-            range(1, len(plaintext) + 1),
-            packets_per_tsc=p["packets_per_tsc"],
-            seed=ctx.rng("capture"),
-        )
+        if p["capture"] == "batched":
+            capture = sim.batched_capture(
+                default_tsc_space(p["num_tsc"]),
+                p["packets_per_tsc"],
+                batch_size=p["batch_size"],
+                checkpoint_path=p["checkpoint"] or None,
+                progress=ctx.capture_progress("capture"),
+            )
+        else:
+            capture = sampled_capture(
+                per_tsc,
+                plaintext,
+                range(1, len(plaintext) + 1),
+                packets_per_tsc=p["packets_per_tsc"],
+                seed=ctx.rng("capture"),
+            )
 
     ctx.emit("recover", "decrypting MIC+ICV via candidate list + CRC pruning")
     with ctx.timer("recover"):
@@ -557,6 +582,7 @@ def _attack_tkip(ctx) -> dict[str, Any]:
             }
     return {
         "captures": capture.num_captured,
+        "capture": p["capture"],
         "candidate_rank": result.candidates_tried,
         "correct": bool(result.correct),
         "mic": result.mic.hex(),
@@ -840,6 +866,102 @@ def _bias_sweep_digraph(ctx) -> dict[str, Any]:
     }
 
 
+@experiment(
+    "bias-sweep-pertsc",
+    description="Per-TSC single-byte keystream sweeps on the capture engine",
+    section="§5.1",
+    params=(
+        Param("num_tsc", scaled=4, maximum=256,
+              help="TSC values swept (evenly spread over the 2^16 space)"),
+        Param("packets_per_tsc", scaled=1 << 12, maximum=1 << 18,
+              help="keystreams measured per TSC value"),
+        Param("start", default=1, help="first 1-indexed position (inclusive)"),
+        Param("end", default=16, help="last 1-indexed position (inclusive)"),
+        Param("top", default=2, help="strongest cells reported per TSC"),
+        Param("batch_size", default=4096,
+              help="keystreams per capture-engine batch"),
+    ),
+)
+def _bias_sweep_pertsc(ctx) -> dict[str, Any]:
+    """TSC-dependent keystream biases (Paterson et al., paper §5.1).
+
+    Rides the batched capture engine with an all-zero plaintext, so the
+    counted ciphertext *is* the keystream: one
+    :class:`~repro.capture.TkipCaptureSource` campaign per run, sharded
+    into deterministic batches, measures Pr[Z_r = k | TSC] for every
+    swept TSC value.
+    """
+    from ..capture import TkipCaptureSource, run_capture
+    from ..tkip import default_tsc_space
+
+    p = ctx.params
+    start, end = p["start"], p["end"]
+    if not 1 <= start <= end <= 512:
+        raise ExperimentParamError(
+            f"need 1 <= start <= end <= 512, got start={start} end={end}"
+        )
+    if p["top"] < 1:
+        raise ExperimentParamError(f"top must be >= 1, got {p['top']}")
+    if not 1 <= p["num_tsc"] <= 65536:
+        raise ExperimentParamError(
+            f"num_tsc must be 1..65536, got {p['num_tsc']}"
+        )
+    tsc_values = default_tsc_space(p["num_tsc"])
+    total = p["num_tsc"] * p["packets_per_tsc"]
+    ctx.emit(
+        "capture",
+        f"measuring {p['num_tsc']} TSC values x {p['packets_per_tsc']} "
+        f"keystreams ({total} total) on the capture engine",
+        total=total,
+    )
+    with ctx.timer("capture"):
+        source = TkipCaptureSource(
+            config=ctx.config,
+            plaintext=bytes(end),  # zeros: ciphertext == keystream
+            tsc_values=tuple(tsc_values),
+            packets_per_tsc=p["packets_per_tsc"],
+            positions=range(start, end + 1),
+            batch_size=p["batch_size"],
+            label="api-pertsc-sweep",
+        )
+        capture = run_capture(
+            source, progress=ctx.capture_progress("capture")
+        )
+
+    ctx.emit("profile", f"profiling positions {start}..{end} per TSC")
+    with ctx.timer("profile"):
+        stacked = np.stack(
+            [capture.counts[tsc & 0xFFFF] for tsc in tsc_values]
+        ).astype(np.float64)
+        totals = stacked.sum(axis=2, keepdims=True)
+        rel = stacked / totals * 256.0 - 1.0
+        sigma = float(np.sqrt(255.0 / p["packets_per_tsc"]))
+        profile = []
+        for t, tsc in enumerate(tsc_values):
+            cells = _top_cells_2d(capture.counts[tsc & 0xFFFF], p["top"])
+            for cell in cells:
+                cell["position"] += start - 1
+            profile.append({"tsc": tsc, "cells": cells})
+        # TSC dependence: how much the strongest per-position bias moves
+        # across TSC values — flat for TSC-independent positions, wide
+        # where the public key bytes bite (the §5.1 effect).
+        strongest = np.abs(rel).max(axis=2)
+        spread = strongest.max(axis=0) - strongest.min(axis=0)
+        dependent = [
+            start + int(r) for r in np.nonzero(spread > 4.0 * sigma)[0]
+        ]
+    return {
+        "num_tsc": p["num_tsc"],
+        "packets_per_tsc": p["packets_per_tsc"],
+        "positions": [start, end],
+        "sigma_relative": sigma,
+        "profile": profile,
+        "tsc_spread_per_position": [float(s) for s in spread],
+        "tsc_dependent_positions": dependent,
+        "total_counts": int(stacked.sum()),
+    }
+
+
 # --------------------------------------------------------------------------
 # §6 — TLS/HTTPS cookie attack
 # --------------------------------------------------------------------------
@@ -859,6 +981,17 @@ def _bias_sweep_digraph(ctx) -> dict[str, Any]:
         Param("max_gap", default=128, help="ABSAB gap cap (paper: 128)"),
         Param("browser", kind="str", default="generic",
               help="victim client layout: generic/chrome/firefox/safari/curl"),
+        Param("capture", kind="str", default="sampled",
+              help="capture fidelity: sampled (statistic-level "
+                   "multinomials) or batched (keystream-level engine)"),
+        Param("batch_size", default=4096,
+              help="requests per engine batch (capture=batched)"),
+        Param("reconnect_every", default=1,
+              help="requests per connection before the victim rekeys "
+                   "(capture=batched; 1 = fresh connection per request, "
+                   "the Fig 10 record-churn regime)"),
+        Param("checkpoint", kind="str", default="",
+              help="resumable-capture checkpoint path (capture=batched)"),
     ),
 )
 def _attack_https(ctx) -> dict[str, Any]:
@@ -872,6 +1005,14 @@ def _attack_https(ctx) -> dict[str, Any]:
             f"browser must be one of {', '.join(sorted(BROWSER_PROFILES))}; "
             f"got {p['browser']!r}"
         )
+    if p["capture"] not in ("sampled", "batched"):
+        raise ExperimentParamError(
+            f"capture must be 'sampled' or 'batched', got {p['capture']!r}"
+        )
+    if p["capture"] != "batched" and (p["reconnect_every"] != 1 or p["checkpoint"]):
+        raise ExperimentParamError(
+            "reconnect_every/checkpoint require capture=batched"
+        )
     cookie_len = p["cookie_len"]
     if cookie_len <= 0:
         cookie_len = 3 if ctx.config.scale < 4 else 16
@@ -884,11 +1025,21 @@ def _attack_https(ctx) -> dict[str, Any]:
     ctx.emit(
         "collect",
         f"collecting statistics from {p['num_requests']} requests "
+        f"via {p['capture']} capture "
         f"(~{timeline.capture_hours:.1f} victim-hours at paper rate)",
         num_requests=p["num_requests"],
     )
     with ctx.timer("collect"):
-        stats = sim.sampled_statistics(p["num_requests"])
+        if p["capture"] == "batched":
+            stats = sim.batched_statistics(
+                p["num_requests"],
+                batch_size=p["batch_size"],
+                reconnect_every=p["reconnect_every"],
+                checkpoint_path=p["checkpoint"] or None,
+                progress=ctx.capture_progress("collect"),
+            )
+        else:
+            stats = sim.sampled_statistics(p["num_requests"])
 
     ctx.emit(
         "candidates",
@@ -900,6 +1051,8 @@ def _attack_https(ctx) -> dict[str, Any]:
 
     return {
         "browser": p["browser"],
+        "capture": p["capture"],
+        "reconnect_every": p["reconnect_every"],
         "cookie_charset": sim.profile.cookie_charset_name,
         "cookie_len": cookie_len,
         "num_requests": result.num_requests,

@@ -224,3 +224,33 @@ class RunContext:
     ) -> np.ndarray:
         """Session-cached dataset generation (see :meth:`Session.dataset`)."""
         return self.session.dataset(spec, processes=processes)
+
+    def capture_progress(self, stage: str = "capture", *, every: int = 8):
+        """Progress callback bridging the capture engine to the session.
+
+        Returns a callable for :func:`repro.capture.run_capture`'s
+        ``progress`` argument that emits a :class:`ProgressEvent` every
+        ``every`` batches, at every checkpoint write, and at completion.
+        """
+
+        def callback(progress) -> None:
+            boundary = (
+                progress.batches_done % every == 0
+                or progress.batches_done == progress.num_batches
+                or progress.checkpointed
+            )
+            if not boundary:
+                return
+            self.emit(
+                stage,
+                f"captured {progress.requests_done}/"
+                f"{progress.total_requests} requests "
+                f"(batch {progress.batches_done}/{progress.num_batches})",
+                requests_done=progress.requests_done,
+                total_requests=progress.total_requests,
+                batches_done=progress.batches_done,
+                num_batches=progress.num_batches,
+                checkpointed=progress.checkpointed,
+            )
+
+        return callback

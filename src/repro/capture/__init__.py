@@ -1,0 +1,51 @@
+"""Unified streaming capture engine (paper §5.2, §6.3 at scale).
+
+The attacks hinge on capture scale — §6 ingests 9·2^27 encrypted
+requests, §5 ingests 2^30 packets — so ciphertext statistics collection
+rides the same batched, vectorized machinery as keystream generation:
+
+- **acquisition** (:mod:`.https`, :mod:`.tkip`): generate
+  ``(batch, stream_len)`` keystream blocks through
+  :func:`repro.rc4.batch.batch_keystream` (native backend when
+  available), XOR broadcast plaintext templates, and count
+  digraph/ABSAB-differential/single-byte cells with the grouped
+  flat-bincount kernels of :mod:`repro.datasets.generate` — no
+  per-request Python loop on the hot path;
+- **sufficient statistics** (:mod:`.protocol`): a common protocol
+  (snapshot / exact int64 merge / canonical-JSON summary / NPZ
+  persistence) implemented by :class:`repro.tls.attack.CookieStatistics`
+  and :class:`repro.tkip.injection.CaptureSet`, making captures
+  shardable across processes and resumable across sessions;
+- **orchestration** (:mod:`.engine`): :func:`run_capture` walks
+  deterministic per-batch key derivations, checkpoints every N batches,
+  and reproduces uninterrupted counts bit-exactly on resume.
+
+The per-request reference paths (``CookieStatistics.ingest_fragment``,
+``CaptureSet.add_frame``) remain as bit-exact oracles; see
+tests/test_capture_equivalence.py.
+"""
+
+from .engine import (
+    CaptureProgress,
+    CaptureSource,
+    run_capture,
+    merge_shards,
+    shard_batches,
+    source_fingerprint,
+)
+from .https import HttpsCaptureSource, ingest_cipher_rows
+from .protocol import SufficientStatistics
+from .tkip import TkipCaptureSource
+
+__all__ = [
+    "CaptureProgress",
+    "CaptureSource",
+    "HttpsCaptureSource",
+    "SufficientStatistics",
+    "TkipCaptureSource",
+    "ingest_cipher_rows",
+    "merge_shards",
+    "run_capture",
+    "shard_batches",
+    "source_fingerprint",
+]

@@ -1,0 +1,233 @@
+"""Batched capture orchestration: checkpoints, shards, progress.
+
+A :class:`CaptureSource` describes one capture campaign as a
+deterministic sequence of batches: batch b always derives the same keys
+(child-seeded by batch index, never by sequential RNG state) and
+accumulates the same counts, so any subsequence of batches is
+reproducible in isolation.  :func:`run_capture` walks a batch range,
+checkpointing the sufficient statistics every ``checkpoint_every``
+batches; rerunning with the same arguments resumes from the last
+checkpoint and produces counters bit-identical to an uninterrupted run.
+
+Sharding rides the same property: :func:`shard_batches` splits the batch
+space into disjoint ranges, each shard runs ``run_capture(source,
+batches=...)`` in its own process, and :func:`merge_shards` combines the
+results with the exact int64 merge of the
+:class:`~repro.capture.protocol.SufficientStatistics` protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Protocol, Sequence
+
+from ..errors import CaptureError
+from ..utils.serialization import canonical_json
+from .protocol import SufficientStatistics
+
+#: Default batches between checkpoint writes.
+DEFAULT_CHECKPOINT_EVERY = 16
+
+
+class CaptureSource(Protocol):
+    """One capture campaign, described as deterministic batches."""
+
+    @property
+    def num_batches(self) -> int: ...
+
+    @property
+    def total_requests(self) -> int: ...
+
+    def fingerprint(self) -> str:
+        """Digest of everything that determines the counters."""
+        ...
+
+    def empty(self) -> SufficientStatistics: ...
+
+    def capture_batch(self, stats: SufficientStatistics, index: int) -> int:
+        """Accumulate batch ``index`` into ``stats``; returns requests added."""
+        ...
+
+    def load(self, path: str | Path) -> tuple[SufficientStatistics, dict]:
+        """Load a checkpoint written by this source's statistics type."""
+        ...
+
+
+@dataclass(frozen=True)
+class CaptureProgress:
+    """One progress notification from :func:`run_capture`.
+
+    Attributes:
+        batches_done: batches completed within the running range.
+        num_batches: batches in the running range.
+        requests_done: requests accumulated so far (including resumed).
+        total_requests: campaign total across all batches of the source.
+        checkpointed: True when a checkpoint was written this batch.
+    """
+
+    batches_done: int
+    num_batches: int
+    requests_done: int
+    total_requests: int
+    checkpointed: bool = False
+
+
+ProgressCallback = Callable[[CaptureProgress], None]
+
+
+def source_fingerprint(descriptor: dict[str, Any]) -> str:
+    """Stable digest of a source descriptor (seed, layout, batching)."""
+    payload = canonical_json(descriptor).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def shard_batches(num_batches: int, num_shards: int) -> list[range]:
+    """Split a batch space into disjoint, near-even contiguous ranges."""
+    if num_batches < 0:
+        raise CaptureError(f"num_batches must be >= 0, got {num_batches}")
+    if num_shards < 1:
+        raise CaptureError(f"num_shards must be >= 1, got {num_shards}")
+    num_shards = min(num_shards, num_batches) or 1
+    base, extra = divmod(num_batches, num_shards)
+    ranges = []
+    start = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+def merge_shards(shards: Iterable[SufficientStatistics]) -> SufficientStatistics:
+    """Combine shard statistics with the exact int64 merge."""
+    iterator = iter(shards)
+    try:
+        total = next(iterator).snapshot()
+    except StopIteration:
+        raise CaptureError("no shards to merge") from None
+    for shard in iterator:
+        total.merge(shard)
+    return total
+
+
+def _batch_digest(batch_list: list[int]) -> str:
+    """Compact identity of the batch subsequence a checkpoint covers."""
+    payload = canonical_json(batch_list).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _checkpoint_path(path: str | Path) -> Path:
+    """Normalise to a ``.npz`` path (what ``np.savez`` writes anyway)."""
+    path = Path(path)
+    return path if path.suffix == ".npz" else Path(str(path) + ".npz")
+
+
+def run_capture(
+    source: CaptureSource,
+    *,
+    batches: Sequence[int] | None = None,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    progress: ProgressCallback | None = None,
+    resume: bool = True,
+) -> SufficientStatistics:
+    """Run a capture campaign batch by batch.
+
+    Args:
+        source: the campaign (acquisition backend + batching).
+        batches: batch indices to run (default: every batch).  Shards
+            pass disjoint ranges from :func:`shard_batches`.
+        checkpoint_path: where to persist the statistics every
+            ``checkpoint_every`` batches (atomic replace; ``.npz``
+            appended when missing).  ``None`` disables checkpointing.
+        checkpoint_every: batches between checkpoint writes; the final
+            batch always checkpoints so a completed capture resumes as
+            a no-op.
+        progress: optional callback receiving :class:`CaptureProgress`
+            after every batch.
+        resume: when the checkpoint file exists, continue from it after
+            validating the source fingerprint and batch range; pass
+            ``False`` to start over (overwriting the checkpoint).
+
+    Returns:
+        The populated sufficient statistics.
+
+    Raises:
+        CaptureError: on invalid arguments, or on a checkpoint whose
+            fingerprint/batch range does not match this campaign.
+    """
+    if checkpoint_every < 1:
+        raise CaptureError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    batch_list = (
+        list(range(source.num_batches)) if batches is None else list(batches)
+    )
+    for index in batch_list:
+        if not 0 <= index < source.num_batches:
+            raise CaptureError(
+                f"batch index {index} outside 0..{source.num_batches - 1}"
+            )
+    if len(set(batch_list)) != len(batch_list):
+        raise CaptureError(
+            "batches contains duplicate indices — counts would double"
+        )
+    fingerprint = source.fingerprint()
+    path = _checkpoint_path(checkpoint_path) if checkpoint_path else None
+
+    stats: SufficientStatistics | None = None
+    done = 0
+    requests_done = 0
+    if path is not None and resume and path.exists():
+        stats, extra = source.load(path)
+        cursor = extra.get("capture_checkpoint")
+        if not isinstance(cursor, dict):
+            raise CaptureError(f"{path} is not a capture checkpoint")
+        if cursor.get("fingerprint") != fingerprint:
+            raise CaptureError(
+                f"{path} was written by a different capture campaign "
+                "(source fingerprint mismatch)"
+            )
+        if cursor.get("batch_digest") != _batch_digest(batch_list):
+            raise CaptureError(
+                f"{path} covers a different batch range than this run"
+            )
+        done = int(cursor["batches_done"])
+        requests_done = int(cursor["requests_done"])
+    if stats is None:
+        stats = source.empty()
+
+    def write_checkpoint() -> None:
+        cursor = {
+            "fingerprint": fingerprint,
+            "batch_digest": _batch_digest(batch_list),
+            "batches_done": done,
+            "requests_done": requests_done,
+        }
+        tmp = path.with_name(path.name[: -len(".npz")] + ".tmp.npz")
+        stats.save(tmp, extra={"capture_checkpoint": cursor})
+        os.replace(tmp, path)
+
+    for position in range(done, len(batch_list)):
+        requests_done += source.capture_batch(stats, batch_list[position])
+        done = position + 1
+        wrote = False
+        if path is not None and (
+            done % checkpoint_every == 0 or done == len(batch_list)
+        ):
+            write_checkpoint()
+            wrote = True
+        if progress is not None:
+            progress(
+                CaptureProgress(
+                    batches_done=done,
+                    num_batches=len(batch_list),
+                    requests_done=requests_done,
+                    total_requests=source.total_requests,
+                    checkpointed=wrote,
+                )
+            )
+    return stats

@@ -1,0 +1,244 @@
+"""Batched HTTPS ciphertext acquisition (paper §6.3 at engine speed).
+
+The §6 statistics only depend on the ciphertext bytes of each request at
+the layout's positions, and each request's ciphertext is keystream XOR a
+*constant* plaintext template.  So a capture batch is three vectorized
+steps, with no per-request Python loop anywhere:
+
+1. generate a ``(connections, stream_len)`` keystream block through
+   :func:`repro.rc4.batch.batch_keystream` (native backend when
+   available) — one RC4 instance per simulated TLS connection, streamed
+   deep enough to cover ``reconnect_every`` requests per connection;
+2. XOR the broadcast plaintext template;
+3. count Fluhrer–McGrew digraph and ABSAB differential cells with the
+   grouped flat-bincount kernels from :mod:`repro.datasets.generate`.
+
+``reconnect_every`` models record churn (§6.3): every connection carries
+that many requests before the victim rekeys.  ``reconnect_every=1`` is
+the fresh-connection regime of Fig 10 (each request starts at keystream
+position 1, where the early-position biases live); larger values reuse
+one keystream at record-aligned offsets exactly like the persistent
+connection the per-request reference path
+(:meth:`repro.tls.attack.CookieStatistics.ingest_fragment`) accepts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..config import ReproConfig
+from ..datasets.generate import DIGRAPH_GROUP, digraph_row_counts
+from ..errors import AttackError, CaptureError
+from ..rc4.batch import batch_keystream
+from ..rc4.keygen import derive_keys
+from ..tls.attack import CookieLayout, CookieStatistics
+from ..tls.record import MAC_LEN
+from ..utils.serialization import canonical_json
+
+
+def ingest_cipher_rows(
+    stats: CookieStatistics, rows: np.ndarray, offset: int = 1
+) -> None:
+    """Vectorized equivalent of per-row ``ingest_fragment`` calls.
+
+    Args:
+        stats: the statistics to accumulate into (its ``absab_matrix``
+            backing store must be present — :meth:`CookieStatistics.empty`
+            always builds it).
+        rows: uint8 ciphertext rows ``(n, >= request_len)``; row k is one
+            encrypted request starting at keystream position ``offset``.
+        offset: keystream position of column 0, congruent to the layout
+            base modulo 256 (the record-padding invariant, §6.3).
+    """
+    layout = stats.layout
+    if (offset - layout.base_offset) % 256 != 0:
+        raise AttackError(
+            f"row offset {offset} incompatible with layout base "
+            f"{layout.base_offset} modulo 256 — add request padding"
+        )
+    if rows.ndim != 2 or rows.shape[1] < layout.request_len:
+        raise AttackError(
+            f"rows must be (n, >= {layout.request_len}), got {rows.shape}"
+        )
+    if stats.absab_matrix is None:
+        raise AttackError(
+            "batched ingestion needs the absab_matrix backing store "
+            "(build statistics with CookieStatistics.empty)"
+        )
+    columns = np.ascontiguousarray(rows.T)
+
+    transitions = layout.transitions()
+    first = transitions[0] - layout.base_offset
+    count = len(transitions)
+    digraph_row_counts(
+        columns[first : first + count],
+        columns[first + 1 : first + count + 1],
+        stats.fm_counts.reshape(-1),
+        np.arange(count, dtype=np.int64) * 65536,
+    )
+
+    base = layout.base_offset
+    targets, partners = [], []
+    for (t, gap, side) in stats.absab_counts:
+        r = transitions[t]
+        if side == "after":
+            p1 = r + 2 + gap
+        else:
+            p1 = r - 2 - gap
+        targets.append(r - base)
+        partners.append(p1 - base)
+    targets = np.asarray(targets, dtype=np.intp)
+    partners = np.asarray(partners, dtype=np.intp)
+    flat = stats.absab_matrix.reshape(-1)
+    offsets = np.arange(len(targets), dtype=np.int64) * 65536
+    # Chunk the alignment axis so the (chunk, n) differential blocks
+    # stay cache-sized; a 16-char cookie at max_gap=128 has thousands
+    # of alignments.
+    chunk = 64
+    scratch = np.empty(
+        (min(DIGRAPH_GROUP, len(targets)), rows.shape[0]), dtype=np.int32
+    )
+    for start in range(0, len(targets), chunk):
+        t_idx = targets[start : start + chunk]
+        p_idx = partners[start : start + chunk]
+        d1 = columns[t_idx] ^ columns[p_idx]
+        d2 = columns[t_idx + 1] ^ columns[p_idx + 1]
+        digraph_row_counts(
+            d1, d2, flat, offsets[start : start + chunk], scratch=scratch
+        )
+
+    stats.num_requests += rows.shape[0]
+
+
+@dataclass
+class HttpsCaptureSource:
+    """Deterministic batched acquisition for the §6 cookie attack.
+
+    Args:
+        config: run configuration (key derivation seeds).
+        layout: the manipulated request layout (§6.1).
+        plaintext: one request's plaintext (constant across the
+            campaign) — exactly ``layout.request_len`` bytes.
+        num_requests: campaign total.
+        batch_size: requests per batch; must be a multiple of
+            ``reconnect_every`` so batches hold whole connections.
+        reconnect_every: requests each connection carries before the
+            victim rekeys (1 = fresh connection per request).
+        max_gap: ABSAB gap cap (paper: 128).
+        record_overhead: keystream bytes between the end of one request
+            and the start of the next on a connection (the RC4-SHA
+            record MAC).
+        label: key-derivation namespace.
+    """
+
+    config: ReproConfig
+    layout: CookieLayout
+    plaintext: bytes
+    num_requests: int
+    batch_size: int = 4096
+    reconnect_every: int = 1
+    max_gap: int = 128
+    record_overhead: int = MAC_LEN
+    label: str = "https-capture"
+    _plaintext_arr: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.plaintext) != self.layout.request_len:
+            raise CaptureError(
+                f"plaintext is {len(self.plaintext)} bytes, layout expects "
+                f"{self.layout.request_len}"
+            )
+        if self.num_requests < 1:
+            raise CaptureError(
+                f"num_requests must be positive, got {self.num_requests}"
+            )
+        if self.reconnect_every < 1:
+            raise CaptureError(
+                f"reconnect_every must be >= 1, got {self.reconnect_every}"
+            )
+        if self.batch_size < 1 or self.batch_size % self.reconnect_every:
+            raise CaptureError(
+                f"batch_size ({self.batch_size}) must be a positive multiple "
+                f"of reconnect_every ({self.reconnect_every})"
+            )
+        if self.reconnect_every > 1 and self._stride % 256 != 0:
+            raise CaptureError(
+                f"record stride {self._stride} must be a multiple of 256 for "
+                "multi-request connections — add request padding (§6.3)"
+            )
+        self._plaintext_arr = np.frombuffer(self.plaintext, dtype=np.uint8)
+
+    @property
+    def _stride(self) -> int:
+        """Keystream bytes consumed per request on a connection."""
+        return self.layout.request_len + self.record_overhead
+
+    @property
+    def num_batches(self) -> int:
+        return -(-self.num_requests // self.batch_size)
+
+    @property
+    def total_requests(self) -> int:
+        return self.num_requests
+
+    def fingerprint(self) -> str:
+        descriptor = {
+            "kind": "https-capture",
+            "seed": self.config.seed,
+            "label": self.label,
+            "layout": {
+                "prefix": self.layout.prefix.decode("latin-1"),
+                "suffix": self.layout.suffix.decode("latin-1"),
+                "cookie_len": self.layout.cookie_len,
+                "base_offset": self.layout.base_offset,
+            },
+            "plaintext": self.plaintext.decode("latin-1"),
+            "num_requests": self.num_requests,
+            "batch_size": self.batch_size,
+            "reconnect_every": self.reconnect_every,
+            "max_gap": self.max_gap,
+            "record_overhead": self.record_overhead,
+        }
+        payload = canonical_json(descriptor).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def empty(self) -> CookieStatistics:
+        return CookieStatistics.empty(self.layout, max_gap=self.max_gap)
+
+    def load(self, path: str | Path) -> tuple[CookieStatistics, dict]:
+        return CookieStatistics.load(path)
+
+    def capture_batch(self, stats: CookieStatistics, index: int) -> int:
+        """One batch: keystream block -> XOR template -> count cells."""
+        first = index * self.batch_size
+        count = min(self.batch_size, self.num_requests - first)
+        if count <= 0:
+            raise CaptureError(f"batch {index} is beyond the campaign")
+        per_conn = self.reconnect_every
+        connections = -(-count // per_conn)
+        keys = derive_keys(
+            self.config, f"{self.label}/batch{index}", connections
+        )
+        length = (per_conn - 1) * self._stride + self.layout.request_len
+        stream = batch_keystream(
+            keys, length, threads=self.config.native_threads
+        )
+        for q in range(per_conn):
+            # Connections whose q-th request exists (the final connection
+            # of the final batch may carry fewer than per_conn requests).
+            rows = -(-(count - q) // per_conn)
+            if rows <= 0:
+                break
+            start = q * self._stride
+            cipher = (
+                stream[:rows, start : start + self.layout.request_len]
+                ^ self._plaintext_arr
+            )
+            ingest_cipher_rows(
+                stats, cipher, offset=self.layout.base_offset + start
+            )
+        return count

@@ -1,0 +1,45 @@
+"""The ``SufficientStatistics`` protocol unifying capture counters.
+
+Both attacks reduce their captures to small families of int64 count
+arrays — digraph/ABSAB cells for §6 (:class:`repro.tls.attack
+.CookieStatistics`), per-TSC byte cells for §5
+(:class:`repro.tkip.injection.CaptureSet`).  The paper's capture scale
+(9·2^27 requests, 2^30 packets) makes two properties non-negotiable:
+
+- **mergeable**: int64 addition is exact, associative and commutative,
+  so captures shard across processes (the paper's per-worker counters,
+  §3.2) and merge to bit-identical totals in any order;
+- **resumable**: a checkpoint is just the counters plus a progress
+  cursor, so a multi-hour capture survives session restarts exactly.
+
+This module pins those properties down as a structural
+:class:`typing.Protocol` the engine (:mod:`repro.capture.engine`) is
+written against; implementations also expose a ``load(path) ->
+(stats, extra)`` classmethod the concrete sources wire up.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SufficientStatistics(Protocol):
+    """Structural interface of a capture's sufficient statistics."""
+
+    def snapshot(self) -> "SufficientStatistics":
+        """An independent deep copy (safe to keep across later merges)."""
+        ...
+
+    def merge(self, other: "SufficientStatistics") -> "SufficientStatistics":
+        """Exact in-place int64 merge of another shard's counts."""
+        ...
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Small canonical-JSON-ready summary (no raw counters)."""
+        ...
+
+    def save(self, path: str | Path, *, extra: dict | None = None) -> Path:
+        """Persist counters plus ``extra`` metadata as an NPZ archive."""
+        ...

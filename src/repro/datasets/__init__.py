@@ -19,25 +19,37 @@ architecture" for the measured throughput of each layer.
 """
 
 from .generate import (
+    bytewise_row_counts,
     consec_digraph_counts,
+    digraph_row_counts,
     equality_counts,
     longterm_digraph_counts,
     pair_counts,
     single_byte_counts,
 )
 from .manager import DatasetSpec, generate_dataset, merge_counts
-from .store import dataset_cache_path, load_dataset, save_dataset
+from .store import (
+    dataset_cache_path,
+    load_dataset,
+    load_statistics,
+    save_dataset,
+    save_statistics,
+)
 
 __all__ = [
     "DatasetSpec",
+    "bytewise_row_counts",
     "consec_digraph_counts",
     "dataset_cache_path",
+    "digraph_row_counts",
     "equality_counts",
     "generate_dataset",
     "load_dataset",
+    "load_statistics",
     "longterm_digraph_counts",
     "merge_counts",
     "pair_counts",
     "save_dataset",
+    "save_statistics",
     "single_byte_counts",
 ]

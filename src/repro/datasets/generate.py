@@ -26,6 +26,12 @@ Two implementations sit behind every kernel:
 
 Both paths are bit-exact with :mod:`repro.rc4.reference`; see
 tests/test_dataset_equivalence.py.
+
+The grouped flat-bincount cores are exposed at array level
+(:func:`bytewise_row_counts`, :func:`digraph_row_counts`) so consumers
+that already hold byte rows — the capture engine in
+:mod:`repro.capture` counts *ciphertext* rows — share the exact same
+counting code instead of duplicating it.
 """
 
 from __future__ import annotations
@@ -41,6 +47,95 @@ SINGLE_GROUP = 64
 #: Digraph positions per fused bincount group (bins = 8 * 65536 int64
 #: = 4 MiB, still cache-friendly next to the (group, n) int32 codes).
 DIGRAPH_GROUP = 8
+
+
+def _code_scratch(
+    scratch: np.ndarray | None, width: int, n: int
+) -> np.ndarray:
+    """Reuse a caller-hoisted int32 code buffer when it is big enough."""
+    if (
+        scratch is None
+        or scratch.dtype != np.int32
+        or scratch.ndim != 2
+        or scratch.shape[0] < width
+        or scratch.shape[1] != n
+    ):
+        return np.empty((width, n), dtype=np.int32)
+    return scratch
+
+
+def bytewise_row_counts(
+    rows: np.ndarray,
+    out: np.ndarray,
+    *,
+    group: int = SINGLE_GROUP,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """Accumulate per-row byte histograms: ``out[r, v] += #{c: rows[r, c] == v}``.
+
+    The array-level form of the single-byte kernel, shared by the numpy
+    dataset fallback, the per-TSC distribution measurement, and the
+    capture engine (which counts ciphertext rows instead of generated
+    keystream).  ``rows`` is uint8 ``(m, n)``; ``out`` must be a
+    C-contiguous int64 ``(m, 256)`` accumulator.  One flat bincount over
+    combined ``row * 256 + value`` codes per ``group`` rows.  Streaming
+    callers pass a hoisted ``(group, n)`` int32 ``scratch`` so per-block
+    calls stay allocation-free.
+    """
+    if not out.flags.c_contiguous:
+        raise ValueError("out must be C-contiguous (see _contiguous_target)")
+    m, n = rows.shape
+    flat = out.reshape(-1)
+    width = min(group, m)
+    codes = _code_scratch(scratch, width, n)
+    offsets = (np.arange(width, dtype=np.int32) * 256)[:, None]
+    for start in range(0, m, group):
+        g = min(group, m - start)
+        np.add(rows[start : start + g], offsets[:g], out=codes[:g], casting="unsafe")
+        flat[start * 256 : (start + g) * 256] += np.bincount(
+            codes[:g].reshape(-1), minlength=g * 256
+        )
+    return out
+
+
+def digraph_row_counts(
+    first: np.ndarray,
+    second: np.ndarray,
+    flat_out: np.ndarray,
+    row_offsets: np.ndarray,
+    *,
+    group: int = DIGRAPH_GROUP,
+    scratch: np.ndarray | None = None,
+) -> None:
+    """Accumulate per-row 2-byte-code histograms into a flat counter.
+
+    For every row r and column c this performs
+    ``flat_out[row_offsets[r] + 256 * first[r, c] + second[r, c]] += 1``
+    via grouped flat bincounts — the array-level core of every digraph
+    kernel, shared by the streamed numpy fallback, :func:`pair_counts`,
+    and the capture engine (FM digraph and ABSAB differential cells over
+    ciphertext rows).  ``first``/``second`` are uint8 ``(m, n)``;
+    ``row_offsets[r]`` is the flat offset of row r's 65536-bin block
+    (non-contiguous offsets are fine — the long-term kernel bins by PRGA
+    counter).  Streaming callers pass a hoisted ``(group, n)`` int32
+    ``scratch`` so per-window calls stay allocation-free.
+    """
+    m, n = first.shape
+    width = min(group, m)
+    codes = _code_scratch(scratch, width, n)
+    for start in range(0, m, group):
+        g = min(group, m - start)
+        np.multiply(
+            first[start : start + g], 256, out=codes[:g],
+            dtype=np.int32, casting="unsafe",
+        )
+        codes[:g] |= second[start : start + g]
+        codes[:g] += (np.arange(g, dtype=np.int32) * 65536)[:, None]
+        counts = np.bincount(codes[:g].reshape(-1), minlength=g * 65536)
+        counts = counts.reshape(g, 65536)
+        for idx in range(g):
+            offset = row_offsets[start + idx]
+            flat_out[offset : offset + 65536] += counts[idx]
 
 
 def _contiguous_target(out: np.ndarray) -> np.ndarray:
@@ -94,17 +189,14 @@ def single_byte_counts(
     if _native.available():
         _native.count_single(keys, positions, target, threads=threads)
     else:
-        flat = target.reshape(-1)
-        n = keys.shape[0]
-        codes = np.empty((SINGLE_GROUP, n), dtype=np.int32)
-        offsets = (np.arange(SINGLE_GROUP, dtype=np.int32) * 256)[:, None]
+        scratch = np.empty(
+            (min(SINGLE_GROUP, positions), keys.shape[0]), dtype=np.int32
+        )
         for start, view in BatchRC4(keys).stream_blocks(
             positions, block=SINGLE_GROUP
         ):
-            g = view.shape[0]
-            np.add(view, offsets[:g], out=codes[:g], casting="unsafe")
-            flat[start * 256 : (start + g) * 256] += np.bincount(
-                codes[:g].reshape(-1), minlength=g * 256
+            bytewise_row_counts(
+                view, target[start : start + view.shape[0]], scratch=scratch
             )
     if target is not out:
         out += target
@@ -129,27 +221,26 @@ def _streamed_digraph_counts(
     offsets are non-contiguous, so groups accumulate via a 65536-aligned
     scatter-add into ``flat_out``.
     """
-    n = keys.shape[0]
     span = 1 + gap
     batch = BatchRC4(keys)
     if drop:
         batch.skip(drop)
     # Wide gaps need windows at least span rows deep to carry the pairs.
     group = max(DIGRAPH_GROUP, span)
-    codes = np.empty((group, n), dtype=np.int32)
+    scratch = np.empty(
+        (min(DIGRAPH_GROUP, positions), keys.shape[0]), dtype=np.int32
+    )
     for start, view in batch.stream_blocks(
         positions + span, block=group, overlap=span
     ):
         g = view.shape[0] - span
-        np.multiply(view[:g], 256, out=codes[:g], dtype=np.int32, casting="unsafe")
-        codes[:g] |= view[span : span + g]
-        local = (np.arange(g, dtype=np.int32) * 65536)[:, None]
-        codes[:g] += local
-        counts = np.bincount(codes[:g].reshape(-1), minlength=g * 65536)
-        counts = counts.reshape(g, 65536)
-        offsets = row_offset_codes[start : start + g]
-        for idx in range(g):
-            flat_out[offsets[idx] : offsets[idx] + 65536] += counts[idx]
+        digraph_row_counts(
+            view[:g],
+            view[span : span + g],
+            flat_out,
+            row_offset_codes[start : start + g],
+            scratch=scratch,
+        )
 
 
 def consec_digraph_counts(
@@ -211,10 +302,14 @@ def pair_counts(
     if out is None:
         out = np.zeros((len(pairs), 256, 256), dtype=np.int64)
     target = _contiguous_target(out)
-    flat = target.reshape(len(pairs), 65536)
-    for idx, (a, b) in enumerate(pairs):
-        pair = (rows[a - 1].astype(np.int32) << 8) | rows[b - 1]
-        flat[idx] += np.bincount(pair, minlength=65536)
+    first = rows[np.asarray([a - 1 for a, _ in pairs], dtype=np.intp)]
+    second = rows[np.asarray([b - 1 for _, b in pairs], dtype=np.intp)]
+    digraph_row_counts(
+        first,
+        second,
+        target.reshape(-1),
+        np.arange(len(pairs), dtype=np.int64) * 65536,
+    )
     if target is not out:
         out += target
     return out

@@ -60,6 +60,38 @@ def load_dataset(
     return arrays["counts"], spec
 
 
+def save_statistics(
+    path: str | Path,
+    kind: str,
+    arrays: dict[str, np.ndarray],
+    meta: dict,
+) -> Path:
+    """Persist capture sufficient statistics (see :mod:`repro.capture`).
+
+    Same NPZ container as the dataset store, tagged with a
+    ``statistics_kind`` so a capture checkpoint is never mistaken for a
+    dataset (or for the other attack's statistics) on load.
+    """
+    payload = dict(meta)
+    if "statistics_kind" in payload:
+        raise DatasetError("'statistics_kind' is a reserved metadata key")
+    payload["statistics_kind"] = kind
+    return save_arrays(path, arrays, payload)
+
+
+def load_statistics(
+    path: str | Path, kind: str
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Load statistics written by :func:`save_statistics`, checking the kind."""
+    arrays, meta = load_arrays(path)
+    found = meta.get("statistics_kind")
+    if found != kind:
+        raise DatasetError(
+            f"{path}: statistics kind {found!r} does not match expected {kind!r}"
+        )
+    return arrays, meta
+
+
 def _spec_to_meta(spec: DatasetSpec) -> dict:
     meta = asdict(spec)
     meta["pairs"] = [list(p) for p in spec.pairs]

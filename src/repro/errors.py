@@ -60,6 +60,10 @@ class AttackError(ReproError):
     """An attack pipeline could not complete (e.g. no candidate survived)."""
 
 
+class CaptureError(ReproError):
+    """The capture engine was misconfigured or a checkpoint is unusable."""
+
+
 class ExperimentError(ReproError):
     """The experiment registry or an experiment run failed."""
 

@@ -82,6 +82,47 @@ class HttpsAttackSimulation:
         stats.ingest_sniffer(sniffer)
         return stats
 
+    def batched_statistics(
+        self,
+        num_requests: int,
+        *,
+        batch_size: int = 4096,
+        reconnect_every: int = 1,
+        checkpoint_path=None,
+        checkpoint_every: int = 16,
+        progress=None,
+    ) -> CookieStatistics:
+        """Keystream-level capture on the batched engine.
+
+        Statistically faithful middle fidelity: real RC4 keystreams XOR
+        the real plaintext template, counted by the vectorized kernels
+        (bit-identical to per-request :meth:`CookieStatistics
+        .ingest_fragment` over the same ciphertexts — the capture
+        equivalence suite holds the two paths together).
+        ``reconnect_every`` requests share each connection's keystream
+        (1 = fresh connection per request, the Fig 10 record-churn
+        regime); checkpoints make long captures resumable (see
+        :func:`repro.capture.run_capture`).
+        """
+        from ..capture import HttpsCaptureSource, run_capture
+
+        source = HttpsCaptureSource(
+            config=self.config,
+            layout=self.layout,
+            plaintext=self.campaign.request_plaintext(),
+            num_requests=num_requests,
+            batch_size=batch_size,
+            reconnect_every=reconnect_every,
+            max_gap=self.max_gap,
+            label=f"https-capture/{self.browser}",
+        )
+        return run_capture(
+            source,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            progress=progress,
+        )
+
     def sampled_statistics(
         self, num_requests: int, *, method: str = "multinomial"
     ) -> CookieStatistics:

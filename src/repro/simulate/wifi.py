@@ -68,6 +68,42 @@ class WifiAttackSimulation:
         """Run the injection campaign and sniff every transmission."""
         return self.campaign.run(num_packets)
 
+    def batched_capture(
+        self,
+        tsc_values: list[int],
+        packets_per_tsc: int,
+        *,
+        batch_size: int = 4096,
+        checkpoint_path=None,
+        checkpoint_every: int = 16,
+        progress=None,
+    ) -> CaptureSet:
+        """Keystream-level capture on the batched engine.
+
+        Real RC4 keystreams under the §2.2 key model (public TSC bytes +
+        uniform tail) XOR the true plaintext, counted by the vectorized
+        kernels — the statistic-level equivalent of running the
+        injection campaign for ``packets_per_tsc`` packets at each TSC,
+        without the per-frame Python loop.  Checkpoints make long
+        captures resumable (see :func:`repro.capture.run_capture`).
+        """
+        from ..capture import TkipCaptureSource, run_capture
+
+        source = TkipCaptureSource(
+            config=self.config,
+            plaintext=self.true_plaintext,
+            tsc_values=tuple(tsc_values),
+            packets_per_tsc=packets_per_tsc,
+            batch_size=batch_size,
+            label="tkip-capture",
+        )
+        return run_capture(
+            source,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            progress=progress,
+        )
+
     def attack(
         self,
         capture: CaptureSet,

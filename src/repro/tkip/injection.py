@@ -43,6 +43,13 @@ MAX_FRAGMENTS = 16
 class CaptureSet:
     """Ciphertext statistics for one injected packet.
 
+    Implements the :class:`repro.capture.SufficientStatistics` protocol:
+    snapshots, exact int64 :meth:`merge` (statistic-level shards from
+    independent processes combine losslessly), canonical-JSON summaries,
+    and NPZ persistence for checkpointed captures.  :meth:`add_frame` is
+    the bit-exact per-frame reference path; :meth:`ingest_rows` is the
+    batched entry the capture engine drives.
+
     Attributes:
         positions: 1-indexed keystream positions covered (the full
             encrypted MSDU span in practice).
@@ -59,6 +66,14 @@ class CaptureSet:
     num_captured: int = 0
     _seen_tsc: set[int] = field(default_factory=set, repr=False)
 
+    def _table(self, tsc: int) -> np.ndarray:
+        low = tsc & 0xFFFF
+        table = self.counts.get(low)
+        if table is None:
+            table = np.zeros((len(self.positions), 256), dtype=np.int64)
+            self.counts[low] = table
+        return table
+
     def add_frame(self, frame: TkipFrame) -> bool:
         """Ingest a sniffed frame; returns True if it was counted.
 
@@ -70,15 +85,128 @@ class CaptureSet:
         if frame.tsc in self._seen_tsc:
             return False
         self._seen_tsc.add(frame.tsc)
-        low = frame.tsc & 0xFFFF
-        table = self.counts.get(low)
-        if table is None:
-            table = np.zeros((len(self.positions), 256), dtype=np.int64)
-            self.counts[low] = table
+        table = self._table(frame.tsc)
         for row, pos in enumerate(self.positions):
             table[row, frame.ciphertext[pos - 1]] += 1
         self.num_captured += 1
         return True
+
+    def ingest_rows(self, tsc: int, rows: np.ndarray) -> None:
+        """Count a batch of ciphertext rows captured at one TSC value.
+
+        The vectorized equivalent of :meth:`add_frame` over ``rows`` of
+        shape (num_packets, plaintext_len): one grouped flat bincount
+        per position block instead of a Python loop per byte.  Rows are
+        statistic-level packets (distinct fresh TSCs with the same low
+        16 bits), so no per-frame dedup applies.
+        """
+        from ..datasets.generate import bytewise_row_counts
+
+        if rows.ndim != 2 or rows.shape[1] != self.plaintext_len:
+            raise AttackError(
+                f"rows must be (n, {self.plaintext_len}), got {rows.shape}"
+            )
+        pos_idx = np.asarray(self.positions, dtype=np.intp) - 1
+        columns = np.ascontiguousarray(rows.T[pos_idx])
+        bytewise_row_counts(columns, self._table(tsc))
+        self.num_captured += rows.shape[0]
+
+    def snapshot(self) -> "CaptureSet":
+        """Independent deep copy (checkpointing / shard seeds)."""
+        return CaptureSet(
+            positions=self.positions,
+            plaintext_len=self.plaintext_len,
+            counts={tsc: table.copy() for tsc, table in self.counts.items()},
+            num_captured=self.num_captured,
+            _seen_tsc=set(self._seen_tsc),
+        )
+
+    def merge(self, other: "CaptureSet") -> "CaptureSet":
+        """Exact int64 merge of shard counts into ``self`` (in place).
+
+        Associative and commutative.  Packet identities (`_seen_tsc`)
+        are unioned; statistic-level shards never carry duplicates, and
+        packet-level shards are the caller's responsibility to keep
+        disjoint.
+        """
+        if (
+            self.positions != other.positions
+            or self.plaintext_len != other.plaintext_len
+        ):
+            raise AttackError("cannot merge captures of different shapes")
+        for tsc, table in other.counts.items():
+            mine = self.counts.get(tsc)
+            if mine is None:
+                self.counts[tsc] = table.copy()
+            else:
+                mine += table
+        self.num_captured += other.num_captured
+        self._seen_tsc |= other._seen_tsc
+        return self
+
+    def to_jsonable(self) -> dict:
+        """Canonical-JSON-ready summary (counters stay in NPZ files)."""
+        return {
+            "type": "tkip-capture-set",
+            "num_captured": int(self.num_captured),
+            "plaintext_len": int(self.plaintext_len),
+            "positions": [
+                self.positions.start, self.positions.stop, self.positions.step
+            ],
+            "num_tsc": len(self.counts),
+            "total_counts": int(
+                sum(int(table.sum()) for table in self.counts.values())
+            ),
+        }
+
+    def save(self, path, *, extra: dict | None = None):
+        """NPZ persistence via the dataset store (resumable captures).
+
+        Packet identities (`_seen_tsc`) are not persisted — a saved
+        capture is a statistic-level artefact, like the paper's merged
+        worker counters.
+        """
+        from ..datasets.store import save_statistics
+
+        tsc_values = sorted(self.counts)
+        stacked = (
+            np.stack([self.counts[tsc] for tsc in tsc_values])
+            if tsc_values
+            else np.zeros((0, len(self.positions), 256), dtype=np.int64)
+        )
+        meta = {
+            "positions": [
+                self.positions.start, self.positions.stop, self.positions.step
+            ],
+            "plaintext_len": self.plaintext_len,
+            "num_captured": self.num_captured,
+            "extra": extra or {},
+        }
+        return save_statistics(
+            path,
+            "tkip-capture-set",
+            {"counts": stacked, "tsc_values": np.asarray(tsc_values, np.int64)},
+            meta,
+        )
+
+    @classmethod
+    def load(cls, path) -> tuple["CaptureSet", dict]:
+        """Load a capture saved by :meth:`save`; returns (capture, extra)."""
+        from ..datasets.store import load_statistics
+
+        arrays, meta = load_statistics(path, "tkip-capture-set")
+        start, stop, step = meta["positions"]
+        capture = cls(
+            positions=range(start, stop, step),
+            plaintext_len=meta["plaintext_len"],
+            num_captured=meta["num_captured"],
+        )
+        stacked = arrays["counts"]
+        if stacked.shape[1:] != (len(capture.positions), 256):
+            raise AttackError(f"{path}: capture counts shape mismatch")
+        for tsc, table in zip(arrays["tsc_values"], stacked):
+            capture.counts[int(tsc)] = np.ascontiguousarray(table, np.int64)
+        return capture, meta.get("extra", {})
 
 
 @dataclass

@@ -21,8 +21,8 @@ import numpy as np
 
 from ..config import ReproConfig
 from ..errors import DatasetError
-from ..rc4.batch import BatchRC4
 from ..biases.empirical import counts_to_distribution
+from ..datasets.generate import single_byte_counts
 from ..utils.serialization import load_arrays, save_arrays
 from .keymix import simplified_key_batch
 
@@ -99,6 +99,10 @@ def generate_per_tsc(
     Keys have the three public bytes fixed by the TSC and 13 uniformly
     random bytes (the paper's model of KM); distributions are
     Laplace-smoothed so downstream log-likelihoods stay finite.
+    Counting goes through the fused single-byte kernel
+    (:func:`repro.datasets.generate.single_byte_counts`), so the native
+    backend's generate-and-count path applies here too — bit-identical
+    to the historical per-position bincount loop.
     """
     if keys_per_tsc <= 0:
         raise ValueError(f"keys_per_tsc must be positive, got {keys_per_tsc}")
@@ -110,9 +114,9 @@ def generate_per_tsc(
         while remaining > 0:
             take = min(chunk, remaining)
             keys = simplified_key_batch(tsc, take, rng)
-            rows = BatchRC4(keys).keystream_rows(length)
-            for r in range(length):
-                counts[r] += np.bincount(rows[r], minlength=256)
+            single_byte_counts(
+                keys, length, out=counts, threads=config.native_threads
+            )
             remaining -= take
         dists[t] = counts_to_distribution(counts)
     return PerTscDistributions(list(tsc_values), dists)

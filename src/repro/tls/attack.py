@@ -112,19 +112,31 @@ class CookieLayout:
 class CookieStatistics:
     """Sufficient statistics for the §6 attack.
 
+    Implements the :class:`repro.capture.SufficientStatistics` protocol:
+    snapshots, exact int64 :meth:`merge` (so captures shard across
+    processes), canonical-JSON summaries, and NPZ persistence (so
+    captures checkpoint and resume across sessions).
+
     Attributes:
         layout: the request layout these counts belong to.
         fm_counts: int64 (num_transitions, 256, 256) ciphertext digraph
             counts; row t is the digraph at transitions()[t].
         absab_counts: maps (transition_index, gap, side) -> int64 65536
-            vector of ciphertext differential counts.
+            vector of ciphertext differential counts.  The vectors are
+            row views into ``absab_matrix``, one backing int64 array of
+            shape (num_alignments, 65536), so the batched capture engine
+            and the merge/persistence paths operate on a single
+            contiguous block while per-request code keeps the dict API.
         num_requests: requests accumulated.
+        max_gap: ABSAB gap cap the alignment set was built with.
     """
 
     layout: CookieLayout
     fm_counts: np.ndarray
     absab_counts: dict[tuple[int, int, str], np.ndarray]
     num_requests: int = 0
+    max_gap: int = MAX_GAP
+    absab_matrix: np.ndarray | None = None
 
     @classmethod
     def empty(
@@ -132,14 +144,131 @@ class CookieStatistics:
     ) -> "CookieStatistics":
         transitions = layout.transitions()
         fm_counts = np.zeros((len(transitions), 256, 256), dtype=np.int64)
-        absab: dict[tuple[int, int, str], np.ndarray] = {}
+        keys = cls.alignment_keys(layout, max_gap=max_gap)
+        matrix = np.zeros((len(keys), 65536), dtype=np.int64)
+        absab = {key: matrix[row] for row, key in enumerate(keys)}
+        return cls(
+            layout=layout,
+            fm_counts=fm_counts,
+            absab_counts=absab,
+            max_gap=max_gap,
+            absab_matrix=matrix,
+        )
+
+    @staticmethod
+    def alignment_keys(
+        layout: CookieLayout, *, max_gap: int = MAX_GAP
+    ) -> list[tuple[int, int, str]]:
+        """Deterministic (transition, gap, side) order of the ABSAB rows."""
+        keys: list[tuple[int, int, str]] = []
         span = layout.cookie_span
-        for t, r in enumerate(transitions):
+        for t, r in enumerate(layout.transitions()):
             for gap, side in usable_gaps(
                 r, span, layout.stream_len, max_gap=max_gap
             ):
-                absab[(t, gap, side)] = np.zeros(65536, dtype=np.int64)
-        return cls(layout=layout, fm_counts=fm_counts, absab_counts=absab)
+                keys.append((t, gap, side))
+        return keys
+
+    def snapshot(self) -> "CookieStatistics":
+        """Independent deep copy (checkpointing / shard seeds)."""
+        copy = CookieStatistics.empty(self.layout, max_gap=self.max_gap)
+        copy.fm_counts += self.fm_counts
+        if self.absab_matrix is not None:
+            copy.absab_matrix += self.absab_matrix
+        else:
+            for key, counts in self.absab_counts.items():
+                copy.absab_counts[key] += counts
+        copy.num_requests = self.num_requests
+        return copy
+
+    def merge(self, other: "CookieStatistics") -> "CookieStatistics":
+        """Exact int64 merge of shard counts into ``self`` (in place).
+
+        Associative and commutative — shards captured by independent
+        processes combine to the same counters in any order.
+        """
+        if self.layout != other.layout or self.max_gap != other.max_gap:
+            raise AttackError("cannot merge statistics of different layouts")
+        if list(self.absab_counts) != list(other.absab_counts):
+            raise AttackError("cannot merge statistics with different alignments")
+        self.fm_counts += other.fm_counts
+        if self.absab_matrix is not None and other.absab_matrix is not None:
+            self.absab_matrix += other.absab_matrix
+        else:
+            for key, counts in other.absab_counts.items():
+                self.absab_counts[key] += counts
+        self.num_requests += other.num_requests
+        return self
+
+    def to_jsonable(self) -> dict:
+        """Canonical-JSON-ready summary (counters stay in NPZ files)."""
+        return {
+            "type": "cookie-statistics",
+            "num_requests": int(self.num_requests),
+            "max_gap": int(self.max_gap),
+            "layout": {
+                "prefix_len": len(self.layout.prefix),
+                "suffix_len": len(self.layout.suffix),
+                "cookie_len": self.layout.cookie_len,
+                "base_offset": self.layout.base_offset,
+            },
+            "fm_transitions": int(self.fm_counts.shape[0]),
+            "fm_total": int(self.fm_counts.sum()),
+            "absab_alignments": len(self.absab_counts),
+            "absab_total": int(
+                sum(int(c.sum()) for c in self.absab_counts.values())
+            ),
+        }
+
+    def save(self, path, *, extra: dict | None = None):
+        """NPZ persistence via the dataset store (resumable captures)."""
+        from ..datasets.store import save_statistics
+
+        matrix = self.absab_matrix
+        if matrix is None:
+            matrix = np.stack(list(self.absab_counts.values())) if (
+                self.absab_counts
+            ) else np.zeros((0, 65536), dtype=np.int64)
+        meta = {
+            "layout": {
+                "prefix": self.layout.prefix.decode("latin-1"),
+                "suffix": self.layout.suffix.decode("latin-1"),
+                "cookie_len": self.layout.cookie_len,
+                "base_offset": self.layout.base_offset,
+            },
+            "max_gap": self.max_gap,
+            "num_requests": self.num_requests,
+            "extra": extra or {},
+        }
+        return save_statistics(
+            path,
+            "cookie-statistics",
+            {"fm_counts": self.fm_counts, "absab_matrix": matrix},
+            meta,
+        )
+
+    @classmethod
+    def load(cls, path) -> tuple["CookieStatistics", dict]:
+        """Load statistics saved by :meth:`save`; returns (stats, extra)."""
+        from ..datasets.store import load_statistics
+
+        arrays, meta = load_statistics(path, "cookie-statistics")
+        fields = meta["layout"]
+        layout = CookieLayout(
+            prefix=fields["prefix"].encode("latin-1"),
+            suffix=fields["suffix"].encode("latin-1"),
+            cookie_len=fields["cookie_len"],
+            base_offset=fields["base_offset"],
+        )
+        stats = cls.empty(layout, max_gap=meta["max_gap"])
+        if arrays["fm_counts"].shape != stats.fm_counts.shape:
+            raise AttackError(f"{path}: fm_counts shape mismatch")
+        if arrays["absab_matrix"].shape != stats.absab_matrix.shape:
+            raise AttackError(f"{path}: absab_matrix shape mismatch")
+        stats.fm_counts += arrays["fm_counts"]
+        stats.absab_matrix += arrays["absab_matrix"]
+        stats.num_requests = meta["num_requests"]
+        return stats, meta.get("extra", {})
 
     def ingest_fragment(self, fragment: bytes, offset: int = 1) -> None:
         """Update counts from one encrypted request fragment.

@@ -47,6 +47,7 @@ TINY_OVERRIDES = {
     "attack-michael": dict(num_harvest=6, forge_payload_len=96),
     "bias-sweep": dict(num_keys=4096, end=8),
     "bias-sweep-digraph": dict(num_keys=1024, end=4),
+    "bias-sweep-pertsc": dict(num_tsc=2, packets_per_tsc=512, end=8),
 }
 
 

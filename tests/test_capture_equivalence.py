@@ -1,0 +1,482 @@
+"""Bit-exactness of the batched capture engine (repro.capture).
+
+The per-request reference paths — ``CookieStatistics.ingest_fragment``
+for §6 and ``CaptureSet.add_frame`` for §5 — stay in the tree as
+oracles: every test here rebuilds the engine's ciphertexts with the
+:mod:`repro.rc4.reference` Python loops, feeds them through the
+reference path one request/frame at a time, and asserts cell-for-cell
+equality with the vectorized engine.  Checkpoint/resume and shard/merge
+must reproduce uninterrupted counters exactly, and the
+``SufficientStatistics`` algebra (associative/commutative merge,
+bit-identical JSON/NPZ round-trips) is pinned with hypothesis.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capture import (
+    HttpsCaptureSource,
+    TkipCaptureSource,
+    merge_shards,
+    run_capture,
+    shard_batches,
+)
+from repro.config import ReproConfig
+from repro.errors import CaptureError, ExperimentParamError
+from repro.rc4 import _native
+from repro.rc4.keygen import derive_keys
+from repro.rc4.reference import rc4_keystream
+from repro.simulate import HttpsAttackSimulation
+from repro.tkip.frames import TkipFrame
+from repro.tkip.injection import CaptureSet
+from repro.tkip.keymix import simplified_key_batch
+from repro.tls.attack import CookieLayout, CookieStatistics
+from repro.utils.serialization import canonical_json
+
+
+@pytest.fixture(params=["numpy", "native"])
+def backend(request, monkeypatch):
+    """Run the test body under each engine backend."""
+    if request.param == "native":
+        if not _native.available():
+            pytest.skip("native backend unavailable (no C compiler?)")
+    else:
+        monkeypatch.setattr(_native, "available", lambda: False)
+    return request.param
+
+
+@pytest.fixture
+def https_sim(config):
+    return HttpsAttackSimulation(config, cookie_len=2, max_gap=8)
+
+
+def _https_source(sim, config, **overrides):
+    kwargs = dict(
+        config=config,
+        layout=sim.layout,
+        plaintext=sim.campaign.request_plaintext(),
+        num_requests=202,
+        batch_size=64,
+        reconnect_every=1,
+        max_gap=8,
+        label="eq-https",
+    )
+    kwargs.update(overrides)
+    return HttpsCaptureSource(**kwargs)
+
+
+def _https_reference(source):
+    """Per-request oracle: reference RC4 + ingest_fragment, same keys."""
+    stats = CookieStatistics.empty(source.layout, max_gap=source.max_gap)
+    plaintext = source.plaintext
+    stride = source.layout.request_len + source.record_overhead
+    per_conn = source.reconnect_every
+    for index in range(source.num_batches):
+        first = index * source.batch_size
+        count = min(source.batch_size, source.num_requests - first)
+        connections = -(-count // per_conn)
+        keys = derive_keys(
+            source.config, f"{source.label}/batch{index}", connections
+        )
+        length = (per_conn - 1) * stride + source.layout.request_len
+        for c in range(connections):
+            stream = rc4_keystream(bytes(keys[c]), length)
+            for q in range(per_conn):
+                if c * per_conn + q >= count:
+                    break
+                window = stream[q * stride : q * stride + len(plaintext)]
+                fragment = bytes(s ^ p for s, p in zip(window, plaintext))
+                stats.ingest_fragment(fragment, offset=1 + q * stride)
+    return stats
+
+
+def _assert_cookie_stats_equal(a, b):
+    assert a.num_requests == b.num_requests
+    assert np.array_equal(a.fm_counts, b.fm_counts)
+    assert list(a.absab_counts) == list(b.absab_counts)
+    for key in a.absab_counts:
+        assert np.array_equal(a.absab_counts[key], b.absab_counts[key]), key
+
+
+class TestHttpsCaptureEquivalence:
+    """Batched §6 capture == per-request ingest_fragment, cell for cell."""
+
+    def test_fresh_connections(self, config, https_sim, backend):
+        source = _https_source(https_sim, config)
+        _assert_cookie_stats_equal(run_capture(source), _https_reference(source))
+
+    def test_record_churn_with_partial_batches(self, config, https_sim, backend):
+        # 202 requests, 4 per connection, batch 64: the final batch holds
+        # 10 requests and its last connection only 2 — every edge at once.
+        source = _https_source(https_sim, config, reconnect_every=4)
+        _assert_cookie_stats_equal(run_capture(source), _https_reference(source))
+
+    def test_absab_matrix_views_stay_coherent(self, config, https_sim):
+        """Dict vectors are views of the backing matrix: per-request and
+        batched ingestion update the same memory."""
+        stats = CookieStatistics.empty(https_sim.layout, max_gap=4)
+        key = next(iter(stats.absab_counts))
+        stats.absab_counts[key][7] += 3
+        row = list(stats.absab_counts).index(key)
+        assert stats.absab_matrix[row, 7] == 3
+
+    def test_rejects_misaligned_stride(self, config, https_sim):
+        with pytest.raises(CaptureError):
+            _https_source(
+                https_sim, config, reconnect_every=4, record_overhead=19,
+                batch_size=64,
+            )
+
+    def test_rejects_batch_not_multiple_of_reconnect(self, config, https_sim):
+        with pytest.raises(CaptureError):
+            _https_source(https_sim, config, reconnect_every=3, batch_size=64)
+
+
+class TestTkipCaptureEquivalence:
+    """Batched §5 capture == per-frame add_frame, cell for cell."""
+
+    def _source(self, config, **overrides):
+        rng = np.random.default_rng(5)
+        kwargs = dict(
+            config=config,
+            plaintext=bytes(rng.integers(0, 256, 60, dtype=np.uint8)),
+            tsc_values=(5, 1000),
+            packets_per_tsc=150,
+            batch_size=64,
+            label="eq-tkip",
+        )
+        kwargs.update(overrides)
+        return TkipCaptureSource(**kwargs)
+
+    def _reference(self, source):
+        capture = CaptureSet(
+            positions=source.positions, plaintext_len=len(source.plaintext)
+        )
+        counter = 0
+        for tsc in source.tsc_values:
+            for part in range(source._batches_per_tsc):
+                first = part * source.batch_size
+                count = min(source.batch_size, source.packets_per_tsc - first)
+                rng = source.config.rng(source.label, "keys", tsc, part)
+                keys = simplified_key_batch(tsc, count, rng)
+                for key in keys:
+                    stream = rc4_keystream(bytes(key), len(source.plaintext))
+                    cipher = bytes(
+                        s ^ p for s, p in zip(stream, source.plaintext)
+                    )
+                    counter += 1
+                    # Same low 16 TSC bits, distinct high bits: the
+                    # per-frame dedup sees fresh TSCs, the statistics
+                    # land in the same per-TSC table.
+                    frame = TkipFrame(
+                        ta=b"\x00" * 6, da=b"\x01" * 6, sa=b"\x02" * 6,
+                        tsc=(counter << 16) | tsc, ciphertext=cipher,
+                    )
+                    assert capture.add_frame(frame)
+        return capture
+
+    @staticmethod
+    def _assert_equal(a, b):
+        assert a.num_captured == b.num_captured
+        assert sorted(a.counts) == sorted(b.counts)
+        for tsc in a.counts:
+            assert np.array_equal(a.counts[tsc], b.counts[tsc]), tsc
+
+    def test_full_span(self, config, backend):
+        source = self._source(config)
+        self._assert_equal(run_capture(source), self._reference(source))
+
+    def test_position_subrange(self, config, backend):
+        source = self._source(config, positions=range(5, 23))
+        self._assert_equal(run_capture(source), self._reference(source))
+
+    def test_rejects_positions_outside_plaintext(self, config):
+        with pytest.raises(CaptureError):
+            self._source(config, positions=range(1, 100))
+
+
+class _FailAfter:
+    """Source wrapper that dies after N successful batches."""
+
+    def __init__(self, inner, fail_after):
+        self._inner = inner
+        self._fail_after = fail_after
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def capture_batch(self, stats, index):
+        if index >= self._fail_after:
+            raise RuntimeError("simulated crash")
+        return self._inner.capture_batch(stats, index)
+
+
+class TestCheckpointResume:
+    """Interrupted + resumed captures == uninterrupted, bit for bit."""
+
+    def _source(self, config):
+        rng = np.random.default_rng(11)
+        return TkipCaptureSource(
+            config=config,
+            plaintext=bytes(rng.integers(0, 256, 40, dtype=np.uint8)),
+            tsc_values=(3, 77, 4000),
+            packets_per_tsc=100,
+            batch_size=32,
+            label="cp-tkip",
+        )
+
+    def test_resume_reproduces_uninterrupted_counts(self, config, tmp_path):
+        source = self._source(config)
+        uninterrupted = run_capture(source)
+        path = tmp_path / "capture.npz"
+        with pytest.raises(RuntimeError):
+            run_capture(
+                _FailAfter(source, 5), checkpoint_path=path, checkpoint_every=2
+            )
+        assert path.exists()
+        resumed = run_capture(source, checkpoint_path=path, checkpoint_every=2)
+        TestTkipCaptureEquivalence._assert_equal(resumed, uninterrupted)
+
+    def test_completed_checkpoint_resumes_as_noop(self, config, tmp_path):
+        source = self._source(config)
+        path = tmp_path / "capture.npz"
+        done = run_capture(source, checkpoint_path=path)
+        again = run_capture(_FailAfter(source, 0), checkpoint_path=path)
+        TestTkipCaptureEquivalence._assert_equal(done, again)
+
+    def test_https_checkpoint_roundtrip(self, config, https_sim, tmp_path):
+        source = _https_source(https_sim, config, num_requests=96, batch_size=32)
+        uninterrupted = run_capture(source)
+        path = tmp_path / "https.npz"
+        with pytest.raises(RuntimeError):
+            run_capture(
+                _FailAfter(source, 1), checkpoint_path=path, checkpoint_every=1
+            )
+        resumed = run_capture(source, checkpoint_path=path, checkpoint_every=1)
+        _assert_cookie_stats_equal(resumed, uninterrupted)
+
+    def test_rejects_foreign_checkpoint(self, config, tmp_path):
+        source = self._source(config)
+        path = tmp_path / "capture.npz"
+        run_capture(source, checkpoint_path=path)
+        other = self._source(ReproConfig(seed=4242))
+        with pytest.raises(CaptureError, match="fingerprint"):
+            run_capture(other, checkpoint_path=path)
+
+    def test_rejects_mismatched_batch_range(self, config, tmp_path):
+        source = self._source(config)
+        path = tmp_path / "capture.npz"
+        run_capture(source, batches=range(0, 4), checkpoint_path=path)
+        with pytest.raises(CaptureError, match="batch range"):
+            run_capture(source, batches=range(4, 8), checkpoint_path=path)
+
+    def test_resume_false_starts_over(self, config, tmp_path):
+        source = self._source(config)
+        path = tmp_path / "capture.npz"
+        run_capture(source, batches=range(0, 2), checkpoint_path=path)
+        fresh = run_capture(source, checkpoint_path=path, resume=False)
+        TestTkipCaptureEquivalence._assert_equal(fresh, run_capture(source))
+
+    def test_rejects_bad_engine_arguments(self, config):
+        source = self._source(config)
+        with pytest.raises(CaptureError):
+            run_capture(source, checkpoint_every=0)
+        with pytest.raises(CaptureError):
+            run_capture(source, batches=[source.num_batches])
+        with pytest.raises(CaptureError, match="duplicate"):
+            run_capture(source, batches=[0, 0])
+
+
+class TestSharding:
+    """Disjoint batch ranges merged == one uninterrupted capture."""
+
+    def test_tkip_shards_merge_exactly(self, config):
+        rng = np.random.default_rng(13)
+        source = TkipCaptureSource(
+            config=config,
+            plaintext=bytes(rng.integers(0, 256, 30, dtype=np.uint8)),
+            tsc_values=(1, 2, 600),
+            packets_per_tsc=120,
+            batch_size=32,
+            label="shard-tkip",
+        )
+        full = run_capture(source)
+        shards = [
+            run_capture(source, batches=r)
+            for r in shard_batches(source.num_batches, 4)
+        ]
+        TestTkipCaptureEquivalence._assert_equal(merge_shards(shards), full)
+
+    def test_https_shards_merge_exactly(self, config, https_sim):
+        source = _https_source(https_sim, config, num_requests=160, batch_size=32)
+        full = run_capture(source)
+        shards = [
+            run_capture(source, batches=r)
+            for r in shard_batches(source.num_batches, 3)
+        ]
+        _assert_cookie_stats_equal(merge_shards(shards), full)
+
+    def test_shard_batches_partitions(self):
+        ranges = shard_batches(11, 3)
+        flat = [index for r in ranges for index in r]
+        assert flat == list(range(11))
+        assert {len(r) for r in ranges} <= {3, 4}
+
+    def test_merge_rejects_mismatched_layouts(self, config, https_sim):
+        from repro.errors import AttackError
+
+        a = CookieStatistics.empty(https_sim.layout, max_gap=4)
+        b = CookieStatistics.empty(https_sim.layout, max_gap=8)
+        with pytest.raises(AttackError):
+            a.merge(b)
+
+
+# --- SufficientStatistics algebra (hypothesis) ----------------------------
+
+_LAYOUT = CookieLayout(prefix=b"known-ab", suffix=b"cd-known", cookie_len=2)
+
+
+def _random_cookie_stats(seed: int) -> CookieStatistics:
+    stats = CookieStatistics.empty(_LAYOUT, max_gap=3)
+    rng = np.random.default_rng(seed)
+    stats.fm_counts += rng.integers(0, 50, stats.fm_counts.shape)
+    stats.absab_matrix += rng.integers(0, 50, stats.absab_matrix.shape)
+    stats.num_requests = int(rng.integers(0, 1000))
+    return stats
+
+
+def _random_capture_set(seed: int) -> CaptureSet:
+    rng = np.random.default_rng(seed)
+    capture = CaptureSet(positions=range(1, 7), plaintext_len=9)
+    for tsc in rng.choice(100, size=rng.integers(1, 4), replace=False):
+        capture.counts[int(tsc)] = rng.integers(
+            0, 50, (6, 256), dtype=np.int64
+        )
+    capture.num_captured = int(rng.integers(0, 500))
+    return capture
+
+
+@pytest.mark.parametrize(
+    "make,equal",
+    [
+        (_random_cookie_stats, _assert_cookie_stats_equal),
+        (_random_capture_set, TestTkipCaptureEquivalence._assert_equal),
+    ],
+    ids=["cookie", "tkip"],
+)
+class TestStatisticsAlgebra:
+    @settings(max_examples=15, deadline=None)
+    @given(seeds=st.tuples(*[st.integers(0, 2**31)] * 3))
+    def test_merge_associative_and_commutative(self, make, equal, seeds):
+        sa, sb, sc = seeds
+        a, b, c = make(sa), make(sb), make(sc)
+        left = a.snapshot().merge(b).merge(c)
+        right = a.snapshot().merge(b.snapshot().merge(c))
+        equal(left, right)
+        equal(a.snapshot().merge(b), b.snapshot().merge(a))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_json_summary_round_trips_bit_identically(self, make, equal, seed):
+        stats = make(seed)
+        text = canonical_json(stats.to_jsonable())
+        assert canonical_json(json.loads(text)) == text
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_npz_round_trips_bit_identically(self, make, equal, seed):
+        stats = make(seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = stats.save(
+                Path(tmp) / "stats.npz", extra={"note": "round-trip"}
+            )
+            loaded, extra = type(stats).load(path)
+        assert extra == {"note": "round-trip"}
+        equal(stats, loaded)
+        # Saving the loaded copy is byte-stable at the summary level too.
+        assert canonical_json(loaded.to_jsonable()) == canonical_json(
+            stats.to_jsonable()
+        )
+
+
+# --- registry integration -------------------------------------------------
+
+
+class TestRegistryIntegration:
+    """The capture engine through the experiment registry surface."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        from repro.api import Session
+
+        return Session(ReproConfig(scale=0.25, seed=4321))
+
+    def test_attack_https_batched_recovers(self, session):
+        # num_candidates covers the full 2-char RFC 6265 space, so the
+        # run must recover; this exercises the whole batched pipeline
+        # (engine capture -> likelihoods -> Algorithm 2 -> oracle).
+        result = session.run(
+            "attack-https", cookie_len=2, num_candidates=1 << 13, max_gap=16,
+            capture="batched", num_requests=1 << 14, batch_size=4096,
+        )
+        assert result.metrics["capture"] == "batched"
+        assert result.metrics["num_requests"] == 1 << 14
+        assert len(result.metrics["cookie"]) == 2
+
+    def test_attack_https_record_churn_scenario(self, session):
+        result = session.run(
+            "attack-https", cookie_len=2, num_candidates=1 << 13, max_gap=16,
+            capture="batched", num_requests=1 << 14, batch_size=4096,
+            reconnect_every=8,
+        )
+        assert result.metrics["reconnect_every"] == 8
+
+    def test_attack_https_rejects_churn_without_batched(self, session):
+        with pytest.raises(ExperimentParamError):
+            session.run("attack-https", reconnect_every=8)
+
+    def test_attack_tkip_batched_capture_stage(self, session, tmp_path):
+        """Batched TKIP capture flows through the experiment (recovery
+        needs paper-scale packet counts — see the capture docstring —
+        so only the capture stage is asserted here, via a checkpoint)."""
+        path = tmp_path / "tkip-capture.npz"
+        with pytest.raises(Exception):
+            session.run(
+                "attack-tkip", num_tsc=2, keys_per_tsc=256,
+                packets_per_tsc=1 << 10, max_candidates=64,
+                capture="batched", checkpoint=str(path),
+            )
+        capture, extra = CaptureSet.load(path)
+        assert capture.num_captured == 2 * (1 << 10)
+        assert extra["capture_checkpoint"]["batches_done"] > 0
+
+    def test_bias_sweep_pertsc_reports_per_tsc_profiles(self, session):
+        result = session.run(
+            "bias-sweep-pertsc", num_tsc=2, packets_per_tsc=2048, end=8,
+        )
+        metrics = result.metrics
+        assert len(metrics["profile"]) == 2
+        assert metrics["positions"] == [1, 8]
+        assert len(metrics["tsc_spread_per_position"]) == 8
+        assert metrics["total_counts"] == 2 * 2048 * 8
+
+    def test_capture_progress_events_emitted(self, session):
+        events = []
+        session.add_progress(events.append)
+        try:
+            session.run(
+                "bias-sweep-pertsc", num_tsc=2, packets_per_tsc=512, end=4,
+                batch_size=256,
+            )
+        finally:
+            session._callbacks.remove(events.append)
+        capture_events = [e for e in events if e.stage == "capture"]
+        assert any("captured" in e.message for e in capture_events)
+        final = [e for e in capture_events if e.data.get("requests_done")]
+        assert final[-1].data["requests_done"] == 2 * 512

@@ -90,6 +90,18 @@ def test_verify_job_smokes_the_scenario_matrix(workflow):
     )
 
 
+def test_verify_job_smokes_capture_equivalence_on_both_native_legs(workflow):
+    """The capture-engine equivalence suite must run inside the matrixed
+    verify job, so both REPRO_NATIVE={0,1} legs assert the batched
+    capture == per-request reference bit-exactness."""
+    job = workflow["jobs"]["verify"]
+    assert sorted(job["strategy"]["matrix"]["native"]) == ["0", "1"]
+    runs = _run_lines(job)
+    assert "test_capture_equivalence" in runs, (
+        "verify job must smoke tests/test_capture_equivalence.py"
+    )
+
+
 def test_verify_job_has_soft_fail_regression_step(workflow):
     job = workflow["jobs"]["verify"]
     check_steps = [
