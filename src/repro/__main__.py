@@ -7,6 +7,8 @@ Every command drives the unified experiment API (:mod:`repro.api`):
                                   run any registered experiment
     info [--json]                 version, config, backend, registry inventory
     tkip / https                  thin aliases for run attack-tkip / attack-https
+    fleet-worker <job_dir>        pull-based capture worker (see repro.fleet)
+    fleet-status <job_dir>        shard states of a fleet job directory
 
 Global flags ``--scale`` / ``--seed`` / ``--threads`` override the
 ``REPRO_SCALE`` / ``REPRO_SEED`` / ``REPRO_NATIVE_THREADS`` environment
@@ -167,6 +169,53 @@ def _cmd_https(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_worker(args: argparse.Namespace) -> int:
+    """Run one pull-based fleet worker over a shared job directory."""
+    from .fleet import run_worker
+
+    config = _build_config(args)
+    report = run_worker(
+        args.job_dir,
+        worker_id=args.worker_id,
+        config=config,
+        max_shards=args.max_shards,
+        throttle=args.throttle,
+        wait_for_peers=args.wait_for_peers,
+    )
+    print(json.dumps(report.to_jsonable()))
+    return 0 if not report.shards_failed else 1
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    """Print the shard state machine of a fleet job directory."""
+    from .fleet import Coordinator
+
+    coordinator = Coordinator.open(args.job_dir, config=_build_config(args))
+    status = coordinator.status()
+    if args.json:
+        print(json.dumps(
+            {
+                "fingerprint": coordinator.manifest.fingerprint,
+                "kind": coordinator.manifest.kind,
+                "num_shards": len(coordinator.manifest.shards),
+                "counts": status.counts,
+                "shards": [s.to_jsonable() for s in status.states],
+            },
+            indent=2,
+        ))
+        return 0
+    counts = status.counts
+    print(f"fleet job {args.job_dir} "
+          f"[{coordinator.manifest.kind} {coordinator.manifest.fingerprint[:16]}]")
+    print("  " + "  ".join(f"{k}: {v}" for k, v in counts.items()))
+    for shard in status.states:
+        if shard.state != "done":
+            detail = f" ({shard.error})" if shard.error else ""
+            print(f"  shard {shard.index:>5}: {shard.state} "
+                  f"attempts={shard.attempts}{detail}")
+    return 0 if status.terminal and not counts["failed"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -209,6 +258,31 @@ def main(argv: list[str] | None = None) -> int:
                    "(alias: run attack-tkip)").set_defaults(func=_cmd_tkip)
     sub.add_parser("https", help="run the scaled §6 attack "
                    "(alias: run attack-https)").set_defaults(func=_cmd_https)
+
+    p_worker = sub.add_parser(
+        "fleet-worker",
+        help="claim and capture shards from a fleet job directory",
+    )
+    p_worker.add_argument("job_dir", help="directory holding manifest.json")
+    p_worker.add_argument("--worker-id", default=None,
+                          help="stable worker identity (default: host:pid)")
+    p_worker.add_argument("--max-shards", type=int, default=None,
+                          help="stop after completing this many shards")
+    p_worker.add_argument("--throttle", type=float, default=0.0,
+                          help="extra seconds to sleep after each batch "
+                          "(rate-limit-aware pacing)")
+    p_worker.add_argument("--wait-for-peers", action="store_true",
+                          help="keep polling while peers hold live leases "
+                          "instead of exiting when nothing is claimable")
+    p_worker.set_defaults(func=_cmd_fleet_worker)
+
+    p_status = sub.add_parser(
+        "fleet-status", help="show shard states of a fleet job directory"
+    )
+    p_status.add_argument("job_dir", help="directory holding manifest.json")
+    p_status.add_argument("--json", action="store_true",
+                          help="machine-readable status dump")
+    p_status.set_defaults(func=_cmd_fleet_status)
 
     args = parser.parse_args(argv)
     try:

@@ -43,6 +43,55 @@ from .registry import Param, experiment
 UNIFORM_BYTE = 1.0 / 256.0
 
 
+def _validate_distributed(p) -> None:
+    """Shared checks for the ``distributed``/``job_dir`` fleet params."""
+    if p["distributed"] < 0:
+        raise ExperimentParamError(
+            f"distributed must be >= 0, got {p['distributed']}"
+        )
+    if p["distributed"]:
+        if p["capture"] != "batched":
+            raise ExperimentParamError("distributed requires capture=batched")
+        if p["checkpoint"]:
+            raise ExperimentParamError(
+                "the fleet manages its own per-shard checkpoints; "
+                "drop checkpoint for distributed runs"
+            )
+    elif p["job_dir"]:
+        raise ExperimentParamError("job_dir requires distributed > 0")
+
+
+def _run_fleet_capture(ctx, source, *, num_shards, job_dir, stage):
+    """Route a batched capture through the fleet coordinator.
+
+    Returns ``(statistics, fleet_metrics)``; the statistics are the
+    exact merge of every completed shard (bit-identical to a local
+    ``run_capture`` when the job completes), and the metrics record the
+    coverage report plus where the job directory lives.
+    """
+    import os
+    import tempfile
+
+    from ..fleet import fleet_capture
+
+    if not job_dir:
+        job_dir = tempfile.mkdtemp(prefix="repro-fleet-")
+    workers = ctx.config.fleet_workers or (os.cpu_count() or 1)
+    workers = max(1, min(workers, num_shards))
+    stats, report = fleet_capture(
+        source,
+        job_dir,
+        num_shards=num_shards,
+        workers=workers,
+        config=ctx.config,
+        progress=ctx.fleet_progress(stage),
+    )
+    metrics = dict(report.to_jsonable())
+    metrics["job_dir"] = str(job_dir)
+    metrics["workers"] = workers
+    return stats, metrics
+
+
 # --------------------------------------------------------------------------
 # §3.2 — the five dataset kinds
 # --------------------------------------------------------------------------
@@ -496,6 +545,12 @@ def _absab_gap(ctx) -> dict[str, Any]:
               help="packets per engine batch (capture=batched)"),
         Param("checkpoint", kind="str", default="",
               help="resumable-capture checkpoint path (capture=batched)"),
+        Param("distributed", default=0,
+              help="fleet shard count (0 = off; capture=batched only; "
+                   "local worker count from REPRO_FLEET_WORKERS)"),
+        Param("job_dir", kind="str", default="",
+              help="fleet job directory shared by coordinator and workers "
+                   "(distributed > 0; default: a fresh temp dir)"),
     ),
 )
 def _attack_tkip(ctx) -> dict[str, Any]:
@@ -514,6 +569,7 @@ def _attack_tkip(ctx) -> dict[str, Any]:
         )
     if p["capture"] != "batched" and p["checkpoint"]:
         raise ExperimentParamError("checkpoint requires capture=batched")
+    _validate_distributed(p)
     sim = WifiAttackSimulation(ctx.config)
     plaintext = sim.true_plaintext
 
@@ -539,8 +595,21 @@ def _attack_tkip(ctx) -> dict[str, Any]:
         f"(~{timeline.capture_hours:.2f} h on-air at 2500 pkts/s)",
         total_packets=total_packets,
     )
+    fleet_metrics = None
     with ctx.timer("capture"):
-        if p["capture"] == "batched":
+        if p["capture"] == "batched" and p["distributed"]:
+            capture, fleet_metrics = _run_fleet_capture(
+                ctx,
+                sim.capture_source(
+                    default_tsc_space(p["num_tsc"]),
+                    p["packets_per_tsc"],
+                    batch_size=p["batch_size"],
+                ),
+                num_shards=p["distributed"],
+                job_dir=p["job_dir"],
+                stage="capture",
+            )
+        elif p["capture"] == "batched":
             capture = sim.batched_capture(
                 default_tsc_space(p["num_tsc"]),
                 p["packets_per_tsc"],
@@ -590,6 +659,7 @@ def _attack_tkip(ctx) -> dict[str, Any]:
         "plaintext_len": len(plaintext),
         "capture_hours_equivalent": timeline.capture_hours,
         "forged": forged,
+        "fleet": fleet_metrics,
     }
 
 
@@ -992,6 +1062,12 @@ def _bias_sweep_pertsc(ctx) -> dict[str, Any]:
                    "the Fig 10 record-churn regime)"),
         Param("checkpoint", kind="str", default="",
               help="resumable-capture checkpoint path (capture=batched)"),
+        Param("distributed", default=0,
+              help="fleet shard count (0 = off; capture=batched only; "
+                   "local worker count from REPRO_FLEET_WORKERS)"),
+        Param("job_dir", kind="str", default="",
+              help="fleet job directory shared by coordinator and workers "
+                   "(distributed > 0; default: a fresh temp dir)"),
     ),
 )
 def _attack_https(ctx) -> dict[str, Any]:
@@ -1013,6 +1089,7 @@ def _attack_https(ctx) -> dict[str, Any]:
         raise ExperimentParamError(
             "reconnect_every/checkpoint require capture=batched"
         )
+    _validate_distributed(p)
     cookie_len = p["cookie_len"]
     if cookie_len <= 0:
         cookie_len = 3 if ctx.config.scale < 4 else 16
@@ -1029,8 +1106,21 @@ def _attack_https(ctx) -> dict[str, Any]:
         f"(~{timeline.capture_hours:.1f} victim-hours at paper rate)",
         num_requests=p["num_requests"],
     )
+    fleet_metrics = None
     with ctx.timer("collect"):
-        if p["capture"] == "batched":
+        if p["capture"] == "batched" and p["distributed"]:
+            stats, fleet_metrics = _run_fleet_capture(
+                ctx,
+                sim.capture_source(
+                    p["num_requests"],
+                    batch_size=p["batch_size"],
+                    reconnect_every=p["reconnect_every"],
+                ),
+                num_shards=p["distributed"],
+                job_dir=p["job_dir"],
+                stage="collect",
+            )
+        elif p["capture"] == "batched":
             stats = sim.batched_statistics(
                 p["num_requests"],
                 batch_size=p["batch_size"],
@@ -1066,4 +1156,5 @@ def _attack_https(ctx) -> dict[str, Any]:
         "fm_transitions": int(stats.fm_counts.shape[0]),
         "capture_hours_equivalent": timeline.capture_hours,
         "bruteforce_seconds_equivalent": result.attempts / PAPER_TEST_RATE,
+        "fleet": fleet_metrics,
     }

@@ -28,6 +28,7 @@ tests/test_capture_equivalence.py.
 from .engine import (
     CaptureProgress,
     CaptureSource,
+    batch_digest,
     run_capture,
     merge_shards,
     shard_batches,
@@ -43,6 +44,7 @@ __all__ = [
     "HttpsCaptureSource",
     "SufficientStatistics",
     "TkipCaptureSource",
+    "batch_digest",
     "ingest_cipher_rows",
     "merge_shards",
     "run_capture",

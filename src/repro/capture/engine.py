@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import hashlib
 import os
+import warnings
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Protocol, Sequence
 
-from ..errors import CaptureError
+from ..errors import CaptureError, DatasetError
 from ..utils.serialization import canonical_json
 from .protocol import SufficientStatistics
 
@@ -85,12 +87,20 @@ def source_fingerprint(descriptor: dict[str, Any]) -> str:
 
 
 def shard_batches(num_batches: int, num_shards: int) -> list[range]:
-    """Split a batch space into disjoint, near-even contiguous ranges."""
+    """Split a batch space into disjoint, near-even contiguous ranges.
+
+    Every returned range is non-empty: asking for more shards than there
+    are batches yields exactly ``num_batches`` single-batch shards, and
+    an empty batch space yields no shards at all.  (Empty-range shards
+    would show up in a fleet manifest as permanently-pending work.)
+    """
     if num_batches < 0:
         raise CaptureError(f"num_batches must be >= 0, got {num_batches}")
     if num_shards < 1:
         raise CaptureError(f"num_shards must be >= 1, got {num_shards}")
-    num_shards = min(num_shards, num_batches) or 1
+    if num_batches == 0:
+        return []
+    num_shards = min(num_shards, num_batches)
     base, extra = divmod(num_batches, num_shards)
     ranges = []
     start = 0
@@ -113,10 +123,35 @@ def merge_shards(shards: Iterable[SufficientStatistics]) -> SufficientStatistics
     return total
 
 
-def _batch_digest(batch_list: list[int]) -> str:
-    """Compact identity of the batch subsequence a checkpoint covers."""
+def batch_digest(batch_list: list[int]) -> str:
+    """Compact identity of the batch subsequence a checkpoint covers.
+
+    Public because the fleet coordinator re-derives it per shard to
+    verify a worker-written NPZ really covers the manifest's range.
+    """
     payload = canonical_json(batch_list).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()
+
+
+def fsync_file(path: str | Path) -> None:
+    """Flush file contents to stable storage (crash-durable checkpoints)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+#: Exceptions a truncated/corrupted checkpoint NPZ surfaces as: short or
+#: garbage zip containers, bad CRCs mid-read, malformed ``__meta__``.
+CORRUPT_CHECKPOINT_ERRORS = (
+    DatasetError,
+    OSError,
+    zipfile.BadZipFile,
+    ValueError,
+    KeyError,
+    EOFError,
+)
 
 
 def _checkpoint_path(path: str | Path) -> Path:
@@ -182,33 +217,56 @@ def run_capture(
     done = 0
     requests_done = 0
     if path is not None and resume and path.exists():
-        stats, extra = source.load(path)
-        cursor = extra.get("capture_checkpoint")
-        if not isinstance(cursor, dict):
-            raise CaptureError(f"{path} is not a capture checkpoint")
-        if cursor.get("fingerprint") != fingerprint:
-            raise CaptureError(
-                f"{path} was written by a different capture campaign "
-                "(source fingerprint mismatch)"
+        try:
+            loaded, extra = source.load(path)
+            cursor = extra.get("capture_checkpoint")
+            if isinstance(cursor, dict):
+                done = int(cursor["batches_done"])
+                requests_done = int(cursor["requests_done"])
+                stats = loaded
+        except CORRUPT_CHECKPOINT_ERRORS as exc:
+            # A half-written or truncated checkpoint (worker killed mid
+            # write, disk full) must cost a restart of this shard, not
+            # an opaque zipfile/numpy traceback for the whole campaign.
+            warnings.warn(
+                f"checkpoint {path} is corrupted or truncated "
+                f"({exc.__class__.__name__}: {exc}); restarting capture "
+                "from scratch",
+                RuntimeWarning,
+                stacklevel=2,
             )
-        if cursor.get("batch_digest") != _batch_digest(batch_list):
-            raise CaptureError(
-                f"{path} covers a different batch range than this run"
-            )
-        done = int(cursor["batches_done"])
-        requests_done = int(cursor["requests_done"])
+            stats = None
+            done = 0
+            requests_done = 0
+        else:
+            # A *readable* NPZ that is not a checkpoint, or one from the
+            # wrong campaign, stays a hard error: silently restarting
+            # there would hide a caller bug (and could clobber data the
+            # caller pointed at by mistake).
+            if stats is None:
+                raise CaptureError(f"{path} is not a capture checkpoint")
+            if cursor.get("fingerprint") != fingerprint:
+                raise CaptureError(
+                    f"{path} was written by a different capture campaign "
+                    "(source fingerprint mismatch)"
+                )
+            if cursor.get("batch_digest") != batch_digest(batch_list):
+                raise CaptureError(
+                    f"{path} covers a different batch range than this run"
+                )
     if stats is None:
         stats = source.empty()
 
     def write_checkpoint() -> None:
         cursor = {
             "fingerprint": fingerprint,
-            "batch_digest": _batch_digest(batch_list),
+            "batch_digest": batch_digest(batch_list),
             "batches_done": done,
             "requests_done": requests_done,
         }
         tmp = path.with_name(path.name[: -len(".npz")] + ".tmp.npz")
         stats.save(tmp, extra={"capture_checkpoint": cursor})
+        fsync_file(tmp)
         os.replace(tmp, path)
 
     for position in range(done, len(batch_list)):

@@ -25,7 +25,7 @@ connection the per-request reference path
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -185,8 +185,15 @@ class HttpsCaptureSource:
     def total_requests(self) -> int:
         return self.num_requests
 
-    def fingerprint(self) -> str:
-        descriptor = {
+    def descriptor(self) -> dict:
+        """JSON-safe record sufficient to rebuild this source bit-exactly.
+
+        This is exactly what :meth:`fingerprint` hashes, and what a fleet
+        manifest ships to workers on other machines (only the seed rides
+        along from the config — native-backend knobs stay per-worker and
+        cannot affect the counters).
+        """
+        return {
             "kind": "https-capture",
             "seed": self.config.seed,
             "label": self.label,
@@ -203,7 +210,42 @@ class HttpsCaptureSource:
             "max_gap": self.max_gap,
             "record_overhead": self.record_overhead,
         }
-        payload = canonical_json(descriptor).encode("utf-8")
+
+    @classmethod
+    def from_descriptor(
+        cls, descriptor: dict, config: ReproConfig
+    ) -> "HttpsCaptureSource":
+        """Rebuild a source from :meth:`descriptor` output.
+
+        ``config`` supplies the local backend knobs; its seed is
+        overridden by the descriptor's so the keystreams match the
+        originating campaign.
+        """
+        if descriptor.get("kind") != "https-capture":
+            raise CaptureError(
+                f"descriptor kind {descriptor.get('kind')!r} is not "
+                "'https-capture'"
+            )
+        layout = descriptor["layout"]
+        return cls(
+            config=replace(config, seed=int(descriptor["seed"])),
+            layout=CookieLayout(
+                prefix=layout["prefix"].encode("latin-1"),
+                suffix=layout["suffix"].encode("latin-1"),
+                cookie_len=int(layout["cookie_len"]),
+                base_offset=int(layout["base_offset"]),
+            ),
+            plaintext=descriptor["plaintext"].encode("latin-1"),
+            num_requests=int(descriptor["num_requests"]),
+            batch_size=int(descriptor["batch_size"]),
+            reconnect_every=int(descriptor["reconnect_every"]),
+            max_gap=int(descriptor["max_gap"]),
+            record_overhead=int(descriptor["record_overhead"]),
+            label=str(descriptor["label"]),
+        )
+
+    def fingerprint(self) -> str:
+        payload = canonical_json(self.descriptor()).encode("utf-8")
         return hashlib.sha256(payload).hexdigest()
 
     def empty(self) -> CookieStatistics:

@@ -17,7 +17,7 @@ distributions on the identical engine.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -97,8 +97,13 @@ class TkipCaptureSource:
     def total_requests(self) -> int:
         return len(self.tsc_values) * self.packets_per_tsc
 
-    def fingerprint(self) -> str:
-        descriptor = {
+    def descriptor(self) -> dict:
+        """JSON-safe record sufficient to rebuild this source bit-exactly.
+
+        Exactly what :meth:`fingerprint` hashes; a fleet manifest ships
+        this to workers (the seed rides along, backend knobs stay local).
+        """
+        return {
             "kind": "tkip-capture",
             "seed": self.config.seed,
             "label": self.label,
@@ -110,7 +115,30 @@ class TkipCaptureSource:
             ],
             "batch_size": self.batch_size,
         }
-        payload = canonical_json(descriptor).encode("utf-8")
+
+    @classmethod
+    def from_descriptor(
+        cls, descriptor: dict, config: ReproConfig
+    ) -> "TkipCaptureSource":
+        """Rebuild a source from :meth:`descriptor` output (seed wins)."""
+        if descriptor.get("kind") != "tkip-capture":
+            raise CaptureError(
+                f"descriptor kind {descriptor.get('kind')!r} is not "
+                "'tkip-capture'"
+            )
+        start, stop, step = (int(v) for v in descriptor["positions"])
+        return cls(
+            config=replace(config, seed=int(descriptor["seed"])),
+            plaintext=descriptor["plaintext"].encode("latin-1"),
+            tsc_values=tuple(int(t) for t in descriptor["tsc_values"]),
+            packets_per_tsc=int(descriptor["packets_per_tsc"]),
+            positions=range(start, stop, step),
+            batch_size=int(descriptor["batch_size"]),
+            label=str(descriptor["label"]),
+        )
+
+    def fingerprint(self) -> str:
+        payload = canonical_json(self.descriptor()).encode("utf-8")
         return hashlib.sha256(payload).hexdigest()
 
     def empty(self) -> CaptureSet:

@@ -64,6 +64,18 @@ class CaptureError(ReproError):
     """The capture engine was misconfigured or a checkpoint is unusable."""
 
 
+class FleetError(ReproError):
+    """The distributed capture fleet hit a coordination failure."""
+
+
+class ManifestError(FleetError):
+    """A fleet job manifest is missing, malformed, or mismatched."""
+
+
+class LeaseError(FleetError):
+    """A shard lease operation failed (lost lease, bad takeover)."""
+
+
 class ExperimentError(ReproError):
     """The experiment registry or an experiment run failed."""
 

@@ -1,0 +1,67 @@
+"""Crash-tolerant distributed capture fleet (paper §3.2 at any scale).
+
+The paper generated its 2**44-plus keystreams on ~80 machines that
+crashed, stalled, and rebooted over days.  This package coordinates the
+same campaign shape over the PR-5 capture engine using nothing but a
+shared directory:
+
+- :mod:`.manifest` — a durable JSON job record expanding a capture
+  source into batch-range shards, each with a ``pending → leased →
+  done/failed`` state machine persisted atomically;
+- :mod:`.lease` — O_EXCL lockfiles with heartbeat mtimes; stale leases
+  are reclaimed with an atomic-rename takeover so dead workers never
+  wedge a job;
+- :mod:`.worker` — the pull-based claim/capture/promote loop behind the
+  ``python -m repro fleet-worker`` entry point;
+- :mod:`.coordinator` — expand / drive / verify / exactly-merge, with
+  quarantine-and-requeue for corrupt shards and graceful degradation to
+  partial-but-exact merges plus a :class:`~.coordinator.CoverageReport`;
+- :mod:`.retry` — the capped exponential backoff schedule everything
+  above (and the native-backend compile probe) shares.
+
+Exports resolve lazily: :mod:`repro.rc4._native` imports
+:mod:`repro.fleet.retry` at the bottom of the dependency graph, so this
+``__init__`` must not eagerly pull the coordinator (which imports the
+capture engine, which imports the RC4 batch kernels) back in.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_EXPORTS = {
+    "JobManifest": ".manifest",
+    "JobPaths": ".manifest",
+    "JobStatus": ".manifest",
+    "ShardSpec": ".manifest",
+    "ShardState": ".manifest",
+    "job_status": ".manifest",
+    "Lease": ".lease",
+    "try_acquire": ".lease",
+    "backoff_delay": ".retry",
+    "backoff_delays": ".retry",
+    "retry_call": ".retry",
+    "build_source": ".sources",
+    "register_source": ".sources",
+    "WorkerReport": ".worker",
+    "run_worker": ".worker",
+    "Coordinator": ".coordinator",
+    "CoverageReport": ".coordinator",
+    "FleetProgress": ".coordinator",
+    "fleet_capture": ".coordinator",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.fleet' has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(module, __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

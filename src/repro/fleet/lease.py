@@ -1,0 +1,143 @@
+"""Shard leases: O_EXCL lockfiles with heartbeat mtimes.
+
+The only mutual exclusion the fleet needs is "at most one *live* worker
+per shard", and the only primitives it may assume are the POSIX
+guarantees of a shared directory: ``open(O_CREAT|O_EXCL)`` is atomic,
+and ``rename`` is atomic.  That keeps the same job directory valid for
+one core or a thousand NFS clients.
+
+Protocol:
+
+- **Claim** — create ``shard-N.lease`` with ``O_CREAT | O_EXCL``;
+  exactly one creator wins.  The file body records the worker id and
+  attempt for post-mortems; its *mtime* is the heartbeat.
+- **Heartbeat** — the holder bumps the mtime (``os.utime``) at least
+  once per TTL, typically every batch from the ``run_capture`` progress
+  callback.
+- **Stale takeover** — a lease whose mtime is older than the TTL belongs
+  to a dead worker.  A claimant first ``rename``s it to a unique
+  tombstone name (exactly one renamer wins; losers see ``ENOENT`` and
+  back off), then re-creates the lease with ``O_EXCL`` as its own.
+- **Zombie safety** — a paused-not-dead worker may wake up after losing
+  its lease and keep writing.  That is *harmless by construction*: shard
+  content is a pure function of the manifest descriptor and batch range,
+  so whichever writer's atomic rename lands last, the bytes are the
+  same; and the state file is only rewritten by the current holder after
+  re-verifying it still holds the lease file it created.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import LeaseError
+
+
+@dataclass
+class Lease:
+    """A held shard lease.  Heartbeat regularly; release when done."""
+
+    path: Path
+    worker: str
+    token: str
+
+    def held(self, ttl: float, *, now: float | None = None) -> bool:
+        """Whether this worker still plausibly owns the lease.
+
+        True when the lease file exists, still carries our token, and
+        has a heartbeat within the TTL.  A False here means a peer
+        reclaimed the shard — the worker must abandon it silently.
+        """
+        try:
+            if self.path.read_text().strip() != self.token:
+                return False
+            age = (now if now is not None else time.time()) - (
+                self.path.stat().st_mtime
+            )
+        except OSError:
+            return False
+        return age <= ttl
+
+    def heartbeat(self) -> None:
+        """Bump the lease mtime; raise :class:`LeaseError` when lost."""
+        try:
+            if self.path.read_text().strip() != self.token:
+                raise LeaseError(
+                    f"{self.path} was taken over by another worker"
+                )
+            os.utime(self.path)
+        except OSError as exc:
+            raise LeaseError(f"lost lease {self.path}: {exc}") from exc
+
+    def release(self) -> None:
+        """Remove the lease file (idempotent; losing a race is fine)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+def _write_exclusive(path: Path, body: str) -> bool:
+    """Atomically create ``path`` with ``body``; False when it exists."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except OSError as exc:
+        if exc.errno == errno.EEXIST:
+            return False
+        raise
+    try:
+        os.write(fd, body.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return True
+
+
+def try_acquire(
+    path: Path,
+    *,
+    worker: str,
+    ttl: float,
+    attempt: int,
+    now: float | None = None,
+) -> Lease | None:
+    """Try to claim the lease at ``path``; ``None`` when someone holds it.
+
+    Live lease → back off (return None).  Stale lease → tombstone it via
+    unique rename, then create our own.  The token (worker + attempt +
+    pid) disambiguates successive leases on the same shard so a zombie's
+    :meth:`Lease.heartbeat` cannot refresh a successor's lease.
+    """
+    token = f"{worker}:attempt{attempt}:pid{os.getpid()}"
+    if _write_exclusive(path, token):
+        return Lease(path=path, worker=worker, token=token)
+    # Lease exists — stale?
+    try:
+        age = (now if now is not None else time.time()) - path.stat().st_mtime
+    except OSError:
+        # Holder released (or a peer tombstoned it) between our O_EXCL
+        # failure and the stat.  One immediate retry; then back off.
+        if _write_exclusive(path, token):
+            return Lease(path=path, worker=worker, token=token)
+        return None
+    if age <= ttl:
+        return None
+    tombstone = path.with_name(
+        f"{path.name}.stale.{worker}.{os.getpid()}.{attempt}"
+    )
+    try:
+        os.rename(path, tombstone)
+    except OSError:
+        # A peer won the takeover race; let them have it.
+        return None
+    try:
+        tombstone.unlink()
+    except OSError:
+        pass
+    if _write_exclusive(path, token):
+        return Lease(path=path, worker=worker, token=token)
+    return None

@@ -1,0 +1,103 @@
+"""Capped exponential backoff, shared by the fleet and the toolchain.
+
+The paper's capture cluster (§3.2) ran for days on machines that
+stalled and rebooted; long campaigns survive by *retrying with bounded
+patience*, not by optimism.  This module pins that policy down in one
+place: :func:`backoff_delay` is the pure schedule (``base * 2**attempt``
+capped), and :func:`retry_call` wraps a callable with it.
+
+Deliberately a leaf module — standard library only — so low-level
+consumers (:mod:`repro.rc4._native`'s compile subprocess, the fleet
+worker loop) can import it without dragging in the capture engine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator, TypeVar
+
+#: Default multiplier between consecutive retry delays.
+BACKOFF_FACTOR = 2.0
+
+#: Default ceiling on a single retry delay (seconds).
+DEFAULT_BACKOFF_CAP = 30.0
+
+T = TypeVar("T")
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float,
+    cap: float = DEFAULT_BACKOFF_CAP,
+    factor: float = BACKOFF_FACTOR,
+) -> float:
+    """Delay before retry number ``attempt`` (0-indexed), capped.
+
+    ``backoff_delay(0)`` is the wait after the first failure.  Negative
+    attempts are clamped to 0; a non-positive ``base`` yields 0 (retry
+    immediately — what tight test loops want).
+    """
+    if base <= 0.0:
+        return 0.0
+    return min(cap, base * factor ** max(0, attempt))
+
+
+def backoff_delays(
+    attempts: int,
+    *,
+    base: float,
+    cap: float = DEFAULT_BACKOFF_CAP,
+    factor: float = BACKOFF_FACTOR,
+) -> Iterator[float]:
+    """The full delay schedule for ``attempts`` retries."""
+    for attempt in range(max(0, attempts)):
+        yield backoff_delay(attempt, base=base, cap=cap, factor=factor)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    attempts: int,
+    base: float,
+    cap: float = DEFAULT_BACKOFF_CAP,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` up to ``attempts`` times with capped backoff between.
+
+    Args:
+        fn: zero-argument callable to invoke.
+        attempts: total invocations allowed (>= 1).
+        base / cap: backoff schedule (see :func:`backoff_delay`).
+        retry_on: exception types that trigger a retry; anything else
+            propagates immediately.
+        sleep: injectable for tests.
+        on_retry: optional hook ``(attempt_index, exception)`` called
+            before each backoff sleep.
+
+    Returns:
+        ``fn()``'s result from the first successful invocation.
+
+    Raises:
+        The last exception when every attempt failed, or ``ValueError``
+        for a non-positive ``attempts``.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    last: BaseException | None = None
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            if attempt + 1 >= attempts:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            delay = backoff_delay(attempt, base=base, cap=cap)
+            if delay > 0.0:
+                sleep(delay)
+    assert last is not None
+    raise last

@@ -51,8 +51,15 @@ from ..config import (
     env_native_interleave,
     env_native_threads,
 )
+from ..fleet.retry import retry_call
 
 _SOURCE = Path(__file__).with_name("_native.c")
+
+#: Per-invocation wall clock for the compile subprocess, and the backoff
+#: before its single retry (timeouts only — a failing compiler is not
+#: retried, the next one in the probe order is tried instead).
+_CC_TIMEOUT = 120
+_CC_RETRY_BACKOFF = 2.0
 
 #: Aggregate private-counter budget across threads (bytes).  Wide
 #: machines counting 256 MiB consec blocks would otherwise multiply that
@@ -107,8 +114,16 @@ def _compile() -> Path:
             str(tmp_path),
         ]
         try:
-            proc = subprocess.run(
-                cmd, capture_output=True, text=True, timeout=120
+            # A wedged compiler (hung license check, dead NFS) gets one
+            # bounded retry with backoff instead of hanging the process;
+            # other failures fall through to the next compiler.
+            proc = retry_call(
+                lambda: subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=_CC_TIMEOUT
+                ),
+                attempts=2,
+                base=_CC_RETRY_BACKOFF,
+                retry_on=(subprocess.TimeoutExpired,),
             )
         except (OSError, subprocess.TimeoutExpired) as exc:
             tmp_path.unlink(missing_ok=True)

@@ -104,9 +104,34 @@ class HttpsAttackSimulation:
         regime); checkpoints make long captures resumable (see
         :func:`repro.capture.run_capture`).
         """
-        from ..capture import HttpsCaptureSource, run_capture
+        from ..capture import run_capture
 
-        source = HttpsCaptureSource(
+        return run_capture(
+            self.capture_source(
+                num_requests,
+                batch_size=batch_size,
+                reconnect_every=reconnect_every,
+            ),
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            progress=progress,
+        )
+
+    def capture_source(
+        self,
+        num_requests: int,
+        *,
+        batch_size: int = 4096,
+        reconnect_every: int = 1,
+    ):
+        """The deterministic batched source behind :meth:`batched_statistics`.
+
+        Exposed separately so the fleet coordinator can expand it into a
+        shard manifest (``distributed=N`` runs).
+        """
+        from ..capture import HttpsCaptureSource
+
+        return HttpsCaptureSource(
             config=self.config,
             layout=self.layout,
             plaintext=self.campaign.request_plaintext(),
@@ -115,12 +140,6 @@ class HttpsAttackSimulation:
             reconnect_every=reconnect_every,
             max_gap=self.max_gap,
             label=f"https-capture/{self.browser}",
-        )
-        return run_capture(
-            source,
-            checkpoint_path=checkpoint_path,
-            checkpoint_every=checkpoint_every,
-            progress=progress,
         )
 
     def sampled_statistics(

@@ -68,6 +68,29 @@ class WifiAttackSimulation:
         """Run the injection campaign and sniff every transmission."""
         return self.campaign.run(num_packets)
 
+    def capture_source(
+        self,
+        tsc_values: list[int],
+        packets_per_tsc: int,
+        *,
+        batch_size: int = 4096,
+    ):
+        """The deterministic batched source behind :meth:`batched_capture`.
+
+        Exposed separately so the fleet coordinator can expand it into a
+        shard manifest (``distributed=N`` runs).
+        """
+        from ..capture import TkipCaptureSource
+
+        return TkipCaptureSource(
+            config=self.config,
+            plaintext=self.true_plaintext,
+            tsc_values=tuple(tsc_values),
+            packets_per_tsc=packets_per_tsc,
+            batch_size=batch_size,
+            label="tkip-capture",
+        )
+
     def batched_capture(
         self,
         tsc_values: list[int],
@@ -87,18 +110,12 @@ class WifiAttackSimulation:
         without the per-frame Python loop.  Checkpoints make long
         captures resumable (see :func:`repro.capture.run_capture`).
         """
-        from ..capture import TkipCaptureSource, run_capture
+        from ..capture import run_capture
 
-        source = TkipCaptureSource(
-            config=self.config,
-            plaintext=self.true_plaintext,
-            tsc_values=tuple(tsc_values),
-            packets_per_tsc=packets_per_tsc,
-            batch_size=batch_size,
-            label="tkip-capture",
-        )
         return run_capture(
-            source,
+            self.capture_source(
+                tsc_values, packets_per_tsc, batch_size=batch_size
+            ),
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             progress=progress,
