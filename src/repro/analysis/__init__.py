@@ -1,16 +1,39 @@
-"""Paper-style rendering of results: tables, ASCII figures, CSV series."""
+"""Paper-style rendering of results: tables, ASCII figures, CSV series.
+
+Also the reporting surface of the results warehouse: sweep tables,
+baseline diffs, figure regeneration, and binomial-CI fidelity checks
+(see :mod:`repro.analysis.report`).
+"""
 
 from .figures import ascii_curve, series_to_csv
 from .report import (
+    CiCheck,
+    assert_within_ci,
     bias_comparison_table,
+    check_within_ci,
+    fidelity_table,
+    figure_summary,
+    metric_cell,
     probability_notation,
     success_rate_table,
+    sweep_diff,
+    sweep_table,
+    varying_params,
 )
 
 __all__ = [
+    "CiCheck",
     "ascii_curve",
+    "assert_within_ci",
     "bias_comparison_table",
+    "check_within_ci",
+    "fidelity_table",
+    "figure_summary",
+    "metric_cell",
     "probability_notation",
     "series_to_csv",
     "success_rate_table",
+    "sweep_diff",
+    "sweep_table",
+    "varying_params",
 ]

@@ -3,14 +3,27 @@
 Benchmarks print measured probabilities next to the paper's, in the same
 ``2^a (1 ± 2^b)`` notation the tables use, so paper-vs-measured rows can be
 read against the original directly.
+
+The module also renders the results warehouse (:mod:`repro.warehouse`):
+:func:`sweep_table` tabulates metric cells across stored runs,
+:func:`sweep_diff` diffs them against a baseline run, and
+:func:`figure_summary` regenerates figure-style curves from a sweep.
+Metric cells are rendered with :func:`metric_cell` — the canonical-JSON
+form of the stored value — so a regenerated table cell is bit-identical
+to the substring inside the stored ``ExperimentResult`` record.
+:func:`check_within_ci` / :func:`assert_within_ci` hold measured counts
+to binomial confidence intervals around model probabilities.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Any, Sequence
 
+from ..utils.serialization import canonical_json, to_jsonable
 from ..utils.tables import format_table
+from .figures import ascii_curve
 
 
 def probability_notation(probability: float, baseline: float) -> str:
@@ -72,3 +85,289 @@ def success_rate_table(
             row.append(f"{100.0 * values[i]:.1f}%")
         rows.append(row)
     return format_table(headers, rows, title=title)
+
+
+# ---------------------------------------------------------------------------
+# Binomial confidence-interval checks (measured vs model).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CiCheck:
+    """Verdict of one binomial confidence-interval check.
+
+    Attributes:
+        observed / trials / p / z: the inputs.
+        expected: ``trials * p``.
+        sd: binomial standard deviation ``sqrt(trials * p * (1 - p))``.
+        deviation: ``(observed - expected) / sd`` — signed sigmas.
+        ok: ``abs(deviation) <= z``.
+    """
+
+    observed: int
+    trials: int
+    p: float
+    z: float
+    expected: float
+    sd: float
+    deviation: float
+    ok: bool
+
+
+def check_within_ci(
+    observed: int, trials: int, p: float, *, z: float = 4.0
+) -> CiCheck:
+    """Check an observed count against the binomial z-sigma CI.
+
+    Under H0 "successes ~ Binomial(trials, p)", the count deviates from
+    ``trials * p`` by more than ``z * sqrt(trials * p * (1 - p))`` with
+    probability ~``2 * Phi(-z)`` (about 6e-5 at the default z=4).
+
+        >>> check_within_ci(530, 1000, 0.5).ok
+        True
+        >>> check_within_ci(700, 1000, 0.5).ok
+        False
+
+    Raises:
+        ValueError: ``p`` outside the open interval (0, 1).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"reference probability must be in (0, 1), got {p}")
+    expected = trials * p
+    sd = math.sqrt(trials * p * (1.0 - p))
+    deviation = (observed - expected) / sd
+    return CiCheck(
+        observed=observed,
+        trials=trials,
+        p=p,
+        z=z,
+        expected=expected,
+        sd=sd,
+        deviation=deviation,
+        ok=abs(deviation) <= z,
+    )
+
+
+def assert_within_ci(
+    observed: int,
+    trials: int,
+    p: float,
+    *,
+    z: float = 4.0,
+    label: str = "",
+) -> None:
+    """Assert an observed count sits inside the binomial z-sigma CI.
+
+    The raising form of :func:`check_within_ci`; the statistical-fidelity
+    test suite and the warehouse fidelity reports both hold claims to it.
+    """
+    verdict = check_within_ci(observed, trials, p, z=z)
+    assert verdict.ok, (
+        f"{label or 'observed count'}: {observed} is "
+        f"{verdict.deviation:+.2f} sd from the expected "
+        f"{verdict.expected:.1f} (Binomial({trials}, {p:.3e}), "
+        f"allowed |z| <= {z})"
+    )
+
+
+def fidelity_table(
+    rows: Sequence[tuple[str, int, int, float]],
+    *,
+    z: float = 4.0,
+    title: str | None = None,
+) -> str:
+    """Table holding measured counts to binomial CIs around model values.
+
+    Args:
+        rows: ``(label, observed, trials, model_probability)`` per claim.
+        z: allowed deviation in binomial standard deviations.
+    """
+    formatted = []
+    for label, observed, trials, p in rows:
+        verdict = check_within_ci(observed, trials, p, z=z)
+        formatted.append(
+            (
+                label,
+                observed,
+                f"{verdict.expected:.1f}",
+                f"{verdict.deviation:+.2f}",
+                "ok" if verdict.ok else "FAIL",
+            )
+        )
+    return format_table(
+        ["claim", "observed", "expected", "sigma", f"|z| <= {z:g}"],
+        formatted,
+        title=title,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Warehouse sweep reports.
+# ---------------------------------------------------------------------------
+
+
+def _result_of(run: Any) -> Any:
+    """Accept either a StoredRun or a bare ExperimentResult."""
+    return getattr(run, "result", run)
+
+
+def metric_cell(value: Any) -> str:
+    """Render one stored value exactly as the record serialises it.
+
+    Canonical JSON of the value — byte-for-byte the substring that
+    appears in the stored ``ExperimentResult`` record, so regenerated
+    report cells can be diffed against the warehouse index directly.
+    """
+    return canonical_json(value)
+
+
+def varying_params(runs: Sequence[Any]) -> list[str]:
+    """Parameter names whose values differ across the given runs."""
+    results = [_result_of(run) for run in runs]
+    names = sorted({name for r in results for name in r.params})
+    varying = []
+    for name in names:
+        cells = {
+            canonical_json(r.params.get(name)) if name in r.params else None
+            for r in results
+        }
+        if len(cells) > 1:
+            varying.append(name)
+    return varying
+
+
+def sweep_table(
+    runs: Sequence[Any],
+    metrics: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Tabulate metric cells across stored runs of a sweep.
+
+    One row per run: the experiment name, every parameter that varies
+    across the sweep, then the requested metrics (default: every metric
+    any run reports).  Cells come from :func:`metric_cell`, so each is
+    bit-identical to the stored record.
+    """
+    if not runs:
+        raise ValueError("sweep_table needs at least one run")
+    results = [_result_of(run) for run in runs]
+    if metrics is None:
+        metrics = sorted({name for r in results for name in r.metrics})
+    axes = varying_params(runs)
+    headers = ["experiment"] + list(axes) + list(metrics)
+    rows = []
+    for r in results:
+        row: list[object] = [r.experiment]
+        for name in axes:
+            row.append(metric_cell(r.params[name]) if name in r.params else "-")
+        for name in metrics:
+            row.append(
+                metric_cell(r.metrics[name]) if name in r.metrics else "-"
+            )
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def sweep_diff(
+    runs: Sequence[Any],
+    baseline: Any,
+    metrics: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Diff metric cells of stored runs against a baseline run.
+
+    Numeric metrics get a signed delta column; non-numeric ones are
+    marked ``same`` / ``DIFFERS``.  Cells render via :func:`metric_cell`.
+    """
+    if not runs:
+        raise ValueError("sweep_diff needs at least one run")
+    base = _result_of(baseline)
+    results = [_result_of(run) for run in runs]
+    if metrics is None:
+        metrics = sorted(
+            {name for r in results for name in r.metrics} & set(base.metrics)
+        )
+    axes = varying_params([baseline, *runs])
+    headers = ["experiment"] + list(axes)
+    for name in metrics:
+        headers += [name, f"Δ{name}"]
+    rows = []
+    for r in results:
+        row: list[object] = [r.experiment]
+        for name in axes:
+            row.append(metric_cell(r.params[name]) if name in r.params else "-")
+        for name in metrics:
+            ours = r.metrics.get(name)
+            theirs = base.metrics.get(name)
+            row.append(metric_cell(ours) if name in r.metrics else "-")
+            if name not in r.metrics or name not in base.metrics:
+                row.append("-")
+            elif isinstance(ours, (int, float)) and not isinstance(
+                ours, bool
+            ) and isinstance(theirs, (int, float)) and not isinstance(
+                theirs, bool
+            ):
+                delta = ours - theirs
+                row.append(f"{delta:+.6g}" if delta else "0")
+            else:
+                same = to_jsonable(ours) == to_jsonable(theirs)
+                row.append("same" if same else "DIFFERS")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def figure_summary(
+    runs: Sequence[Any],
+    x_param: str,
+    metric: str,
+    *,
+    series_param: str | None = None,
+    width: int = 64,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Regenerate a figure-style ASCII summary from stored sweep runs.
+
+    Plots ``metric`` against the numeric parameter ``x_param``; when
+    ``series_param`` is given, one curve per distinct value of it (the
+    shape of the paper's Fig 7/8/10 success-rate families).
+    """
+    groups: dict[str, list[tuple[float, float]]] = {}
+    for run in runs:
+        r = _result_of(run)
+        if x_param not in r.params or metric not in r.metrics:
+            continue
+        if series_param is None:
+            key = metric
+        elif series_param in r.params:
+            key = f"{series_param}={metric_cell(r.params[series_param])}"
+        else:
+            continue
+        groups.setdefault(key, []).append(
+            (float(r.params[x_param]), float(r.metrics[metric]))
+        )
+    if not groups:
+        raise ValueError(
+            f"no stored run has param {x_param!r} and metric {metric!r}"
+        )
+    lengths = {len(points) for points in groups.values()}
+    if len(lengths) > 1:
+        raise ValueError(
+            "series have differing point counts; sweep the same "
+            f"{x_param!r} grid for every series value"
+        )
+    x_values: list[float] = []
+    series: dict[str, list[float]] = {}
+    for key, points in groups.items():
+        points.sort()
+        xs = [x for x, _ in points]
+        if not x_values:
+            x_values = xs
+        elif xs != x_values:
+            raise ValueError(f"series {key!r} covers different {x_param!r} values")
+        series[key] = [y for _, y in points]
+    return ascii_curve(
+        x_values, series, width=width, height=height, title=title
+    )

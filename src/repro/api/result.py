@@ -36,6 +36,15 @@ class ExperimentResult:
         timings: per-stage wall-clock seconds, plus ``"total"``.
         provenance: seed, scale, package version, and backend facts
             needed to reproduce or audit the run.
+
+    Serialisation is canonical and bit-stable — the property the results
+    warehouse (:mod:`repro.warehouse`) keys its fingerprints on:
+
+        >>> r = ExperimentResult("demo", params={"n": 4}, metrics={"ok": True})
+        >>> ExperimentResult.from_json(r.to_json()).to_json() == r.to_json()
+        True
+        >>> r.to_json().startswith('{"experiment":"demo",')
+        True
     """
 
     experiment: str

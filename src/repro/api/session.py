@@ -17,9 +17,12 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an api <-> warehouse cycle
+    from ..warehouse import RunStore, SweepReport
 
 from .._version import __version__
 from ..config import ReproConfig, get_config
@@ -54,6 +57,11 @@ ProgressCallback = Callable[[ProgressEvent], None]
 class Session:
     """Facade for running registered experiments under one configuration.
 
+    Every consumer — the CLI, the examples, the benchmarks, the sweep
+    orchestrator — drives experiments through a session, so seeding,
+    dataset caching, progress, and result persistence live in exactly
+    one place.
+
     Args:
         config: run configuration; ``None`` reads the environment
             (:func:`repro.config.get_config`).
@@ -61,6 +69,21 @@ class Session:
             When unset, datasets are cached in memory only (fresh
             sessions regenerate — what benchmarks want).
         progress: optional initial progress callback.
+        store: optional :class:`~repro.warehouse.RunStore` (or a path,
+            which opens one).  When set, every :meth:`run` result is
+            appended to the warehouse automatically, deduplicated by
+            run fingerprint.
+
+    Example:
+
+        >>> from repro.api import Session
+        >>> from repro.config import ReproConfig
+        >>> session = Session(ReproConfig(seed=7, scale=1.0))
+        >>> result = session.run("dataset-single", num_keys=256, positions=2)
+        >>> result.experiment
+        'dataset-single'
+        >>> sorted(result.params) == ["num_keys", "positions"]
+        True
     """
 
     def __init__(
@@ -69,11 +92,17 @@ class Session:
         *,
         cache_dir: str | Path | None = None,
         progress: ProgressCallback | None = None,
+        store: "RunStore | str | Path | None" = None,
     ) -> None:
         self.config = config if config is not None else get_config()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._callbacks: list[ProgressCallback] = []
         self._dataset_cache: dict[str, np.ndarray] = {}
+        if store is not None and isinstance(store, (str, Path)):
+            from ..warehouse import RunStore
+
+            store = RunStore(store)
+        self.store: "RunStore | None" = store
         if progress is not None:
             self.add_progress(progress)
 
@@ -139,6 +168,20 @@ class Session:
     def run(self, name: str, /, **overrides: Any) -> ExperimentResult:
         """Run a registered experiment and return its uniform result.
 
+        Parameter defaults are scale-aware (resolved through the session
+        config), overrides are validated against the registry schema,
+        and the returned record carries full provenance.  When the
+        session has a warehouse ``store``, the result is appended to it
+        before returning (a fingerprint-duplicate append is a no-op).
+
+        Example:
+
+            >>> from repro.api import Session
+            >>> from repro.config import ReproConfig
+            >>> session = Session(ReproConfig(seed=7, scale=1.0))
+            >>> session.run("dataset-single", num_keys=256).provenance["seed"]
+            7
+
         Raises:
             UnknownExperimentError: ``name`` is not registered.
             ExperimentParamError: an override is unknown or ill-typed.
@@ -157,13 +200,63 @@ class Session:
             )
         timings = dict(ctx.timings)
         timings["total"] = total
-        return ExperimentResult(
+        result = ExperimentResult(
             experiment=name,
             params=params,
             metrics=metrics,
             timings=timings,
             provenance=self._provenance(),
         )
+        if self.store is not None:
+            self.store.append(result)
+        return result
+
+    def sweep(
+        self,
+        specs: "Any",
+        *,
+        store: "RunStore | str | Path | None" = None,
+        progress: "Callable[[Any, str], None] | None" = None,
+    ) -> "SweepReport":
+        """Run a parameter-grid sweep, persisting every run.
+
+        A thin wrapper over :func:`repro.warehouse.run_sweep`: expands
+        the given :class:`~repro.warehouse.SweepSpec` declarations
+        against the registry, skips every point whose fingerprint the
+        store already holds (crash-tolerant resume), and records
+        ran/skipped/failed outcomes per point.
+
+        Args:
+            specs: iterable of :class:`~repro.warehouse.SweepSpec` (or
+                pre-planned runs from
+                :func:`repro.warehouse.plan_sweep`).
+            store: destination warehouse; defaults to the session's own
+                ``store``.  One of the two must be set.
+            progress: optional ``callback(plan, status)`` per point.
+
+        Example:
+
+            >>> from repro.warehouse import SweepSpec
+            >>> report = session.sweep(
+            ...     [SweepSpec("dataset-single",
+            ...                grid={"num_keys": [256, 512]})],
+            ...     store="runs/",
+            ... )  # doctest: +SKIP
+            >>> report.counts()  # doctest: +SKIP
+            {'ran': 2, 'skipped': 0, 'failed': 0}
+        """
+        from ..warehouse import RunStore, run_sweep
+
+        if store is None:
+            store = self.store
+        elif isinstance(store, (str, Path)):
+            store = RunStore(store)
+        if store is None:
+            raise ExperimentError(
+                "sweep needs a run store: pass store=... or construct the "
+                "Session with store=..."
+            )
+        return run_sweep(self, specs, store, progress=progress)
 
     def _provenance(self) -> dict[str, Any]:
         config = self.config

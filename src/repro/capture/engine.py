@@ -171,6 +171,23 @@ def run_capture(
 ) -> SufficientStatistics:
     """Run a capture campaign batch by batch.
 
+    The single-process streaming loop every capture consumer builds on:
+    acquire one batch of ciphertexts, fold it into the campaign's
+    :class:`SufficientStatistics`, optionally checkpoint, repeat.  Fleet
+    shards call this with disjoint ``batches`` ranges and merge the
+    results bit-exactly.
+
+    Example:
+
+        >>> from repro.capture import run_capture
+        >>> from repro.fleet import build_source
+        >>> source = build_source("https", num_requests=1 << 12,
+        ...                       config=config)            # doctest: +SKIP
+        >>> stats = run_capture(source,
+        ...                     checkpoint_path="cap.npz")  # doctest: +SKIP
+        >>> stats.requests_done                             # doctest: +SKIP
+        4096
+
     Args:
         source: the campaign (acquisition backend + batching).
         batches: batch indices to run (default: every batch).  Shards

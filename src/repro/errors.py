@@ -76,6 +76,14 @@ class LeaseError(FleetError):
     """A shard lease operation failed (lost lease, bad takeover)."""
 
 
+class WarehouseError(ReproError):
+    """The results warehouse hit a malformed store or record."""
+
+
+class SweepError(WarehouseError):
+    """A parameter sweep was declared inconsistently."""
+
+
 class ExperimentError(ReproError):
     """The experiment registry or an experiment run failed."""
 

@@ -35,6 +35,8 @@ _EXPORTS = {
     "JobStatus": ".manifest",
     "ShardSpec": ".manifest",
     "ShardState": ".manifest",
+    "SHARD_STATES": ".manifest",
+    "STATE_DESCRIPTIONS": ".manifest",
     "job_status": ".manifest",
     "Lease": ".lease",
     "try_acquire": ".lease",

@@ -477,7 +477,39 @@ def fleet_capture(
     The ``distributed=N`` experiment path: equivalent to
     ``run_capture(source)`` when everything goes right, and to the best
     exact partial merge (plus a truthful :class:`CoverageReport`) when
-    shards exhaust their retry budget.
+    shards exhaust their retry budget.  Merging is bit-exact: the
+    counters of a complete fleet run equal a single-process capture of
+    the same source, which is what lets warehouse fingerprints ignore
+    how a run was executed.
+
+    Args:
+        source: the capture campaign (see
+            :func:`repro.fleet.build_source`).
+        job_dir: shared directory holding the manifest, leases, shard
+            checkpoints, and promoted statistics; survives crashes and
+            is what a re-invocation resumes from.
+        num_shards: how many disjoint batch-ranges to expand into.
+        workers: in-process worker threads to drive (external
+            ``python -m repro fleet-worker`` processes may join too).
+        config: retry budget / backoff knobs; ``None`` reads the
+            environment.
+        checkpoint_every: batches between shard checkpoint writes.
+        progress: optional :class:`FleetProgress` callback.
+
+    Returns:
+        ``(stats, report)`` — the merged
+        :class:`~repro.capture.SufficientStatistics` and the
+        :class:`CoverageReport` saying exactly which shards made it.
+
+    Example:
+
+        >>> from repro.fleet import build_source, fleet_capture
+        >>> source = build_source("https", num_requests=1 << 12,
+        ...                       config=config)              # doctest: +SKIP
+        >>> stats, report = fleet_capture(source, "job/",
+        ...                               num_shards=8, workers=2)  # doctest: +SKIP
+        >>> report.complete                                   # doctest: +SKIP
+        True
     """
     coordinator = Coordinator.create(
         source,

@@ -52,6 +52,24 @@ DONE = "done"
 FAILED = "failed"
 SHARD_STATES = (PENDING, LEASED, DONE, FAILED)
 
+#: Human-readable meaning of each shard state — one source of truth for
+#: the ``fleet-status`` CLI epilog and the README failure matrix.
+STATE_DESCRIPTIONS = {
+    PENDING: (
+        "unclaimed; any worker may lease it (retryable failures and "
+        "stale-lease reclaims requeue shards here)"
+    ),
+    LEASED: (
+        "a worker holds the O_EXCL lease and heartbeats its mtime; a "
+        "stale heartbeat lets another worker take over atomically"
+    ),
+    DONE: "captured, verified, and promoted; its statistics are mergeable",
+    FAILED: (
+        "retry budget exhausted or output quarantined as corrupt; "
+        "excluded from the merge and listed in the coverage report"
+    ),
+}
+
 
 def fsync_path(path: str | Path) -> None:
     """Flush a written file to stable storage before renaming it."""

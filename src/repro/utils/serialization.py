@@ -15,8 +15,10 @@ same record twice is bit-identical.
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 import numpy as np
 
@@ -67,6 +69,69 @@ def canonical_json(value: Any) -> str:
     return json.dumps(
         to_jsonable(value), sort_keys=True, separators=(",", ":"), allow_nan=False
     )
+
+
+def append_jsonl(path: str | Path, record: Any) -> str:
+    """Durably append one canonical-JSON line to ``path``.
+
+    The line is rendered with :func:`canonical_json`, written with a
+    single ``write(2)`` on an ``O_APPEND`` descriptor (atomic with
+    respect to concurrent appenders on POSIX filesystems), and fsync'd
+    before returning — the append-only discipline the results warehouse
+    (:mod:`repro.warehouse`) builds on.  If the file currently ends in a
+    torn line (a writer crashed mid-append, leaving no trailing
+    newline), a newline is prefixed so the torn bytes become one
+    isolated corrupt line instead of swallowing this record.
+
+    Returns the exact line written (without the trailing newline).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = canonical_json(record)
+    data = (line + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > 0:
+                    fh.seek(-1, os.SEEK_END)
+                    if fh.read(1) != b"\n":
+                        data = b"\n" + data
+        except OSError:
+            pass
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return line
+
+
+def iter_jsonl(
+    path: str | Path, *, label: str = "record"
+) -> Iterator[tuple[int, Any]]:
+    """Yield ``(line_number, parsed_record)`` for each line of ``path``.
+
+    Blank lines are ignored; lines that fail to parse as JSON are
+    skipped with a :class:`RuntimeWarning` naming the line — corruption
+    never silently hides the records around it, and never aborts a load.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                yield lineno, json.loads(raw)
+            except json.JSONDecodeError as exc:
+                warnings.warn(
+                    f"{path}:{lineno}: skipping corrupt {label} ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
 
 def save_arrays(

@@ -1,0 +1,53 @@
+"""Results warehouse: persistent run storage and sweep orchestration.
+
+The warehouse turns one-shot :class:`~repro.api.ExperimentResult`
+records into a durable, queryable corpus (:class:`RunStore`) and
+expands declarative parameter grids into crash-tolerant sweeps
+(:class:`SweepSpec` / :func:`run_sweep`).  Reports over stored runs
+live in :mod:`repro.analysis.report`.
+
+Typical use::
+
+    from repro.api import Session
+    from repro.warehouse import RunStore, SweepSpec, run_sweep
+
+    store = RunStore("runs/")
+    session = Session(store=store)
+    report = run_sweep(
+        session,
+        [SweepSpec("dataset-single", grid={"num_keys": [4096, 8192]})],
+        store,
+    )
+"""
+
+from .store import (
+    STORE_FORMAT_VERSION,
+    RunStore,
+    StoredRun,
+    result_fingerprint,
+    run_fingerprint,
+)
+from .sweep import (
+    SWEEP_STATUSES,
+    PlannedRun,
+    SweepOutcome,
+    SweepReport,
+    SweepSpec,
+    plan_sweep,
+    run_sweep,
+)
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "SWEEP_STATUSES",
+    "PlannedRun",
+    "RunStore",
+    "StoredRun",
+    "SweepOutcome",
+    "SweepReport",
+    "SweepSpec",
+    "plan_sweep",
+    "result_fingerprint",
+    "run_fingerprint",
+    "run_sweep",
+]

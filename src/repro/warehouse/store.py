@@ -1,0 +1,410 @@
+"""Append-only persistent run store: the results warehouse.
+
+Every :class:`~repro.api.ExperimentResult` is already a canonical-JSON
+record; this module gives those records a durable home so cross-run
+comparisons, trend reports, and figure regeneration never require
+re-running anything.  The layout under a store root is deliberately
+boring:
+
+- ``runs.jsonl`` — one canonical-JSON line per stored run, appended
+  with a single fsync'd ``O_APPEND`` write (atomic between concurrent
+  appenders; see :func:`repro.utils.serialization.append_jsonl`).
+- ``blobs/<fingerprint>/<name>.npz`` — optional sidecar arrays (raw
+  counters, capture statistics) persisted through the versioned NPZ
+  container of :mod:`repro.utils.serialization`.
+
+Runs are keyed by a **fingerprint**: the SHA-256 of the canonical JSON
+of ``{experiment, params, seed, scale}`` — exactly the inputs that
+determine a run's metrics bit-for-bit (the capture/dataset equivalence
+suites hold the backend and thread count out of the story).  Appending
+a result whose fingerprint is already stored is a no-op, which is what
+makes sweeps resumable: a re-launched sweep skips every fingerprint the
+store already holds.
+
+Corrupt index lines (torn writes, truncation) are skipped with a
+:class:`RuntimeWarning` on load — one damaged record never hides the
+rest of the warehouse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import time
+import warnings
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..api.result import ExperimentResult
+from ..errors import ReproError, WarehouseError
+from ..utils.serialization import (
+    append_jsonl,
+    canonical_json,
+    load_arrays,
+    save_arrays,
+    to_jsonable,
+)
+
+#: Bumped when the index-line layout changes incompatibly.
+STORE_FORMAT_VERSION = 1
+
+INDEX_NAME = "runs.jsonl"
+BLOBS_DIR = "blobs"
+
+_BLOB_NAME = re.compile(r"[A-Za-z0-9._-]+")
+
+
+def run_fingerprint(
+    experiment: str,
+    params: Mapping[str, Any],
+    *,
+    seed: Any,
+    scale: Any,
+) -> str:
+    """Deterministic identity of a run: what makes its metrics unique.
+
+    The digest covers the experiment name, the fully resolved
+    parameters, and the seed/scale provenance — the exact inputs a
+    :class:`~repro.api.Session` needs to reproduce the run bit-for-bit.
+    Timings and backend facts are deliberately excluded: two executions
+    of the same run are the *same* run.
+    """
+    payload = {
+        "experiment": experiment,
+        "params": params,
+        "seed": seed,
+        "scale": scale,
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def result_fingerprint(result: ExperimentResult) -> str:
+    """Fingerprint of an existing result record (see :func:`run_fingerprint`)."""
+    return run_fingerprint(
+        result.experiment,
+        result.params,
+        seed=result.provenance.get("seed"),
+        scale=result.provenance.get("scale"),
+    )
+
+
+def _as_timestamp(value: Any) -> float:
+    """Accept a unix timestamp, a ``datetime``, or an ISO-8601 string.
+
+    Naive datetimes/strings are interpreted as UTC so a query means the
+    same thing on every machine that mounts the store.
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if isinstance(value, datetime):
+        dt = value
+    elif isinstance(value, str):
+        try:
+            dt = datetime.fromisoformat(value)
+        except ValueError as exc:
+            raise WarehouseError(
+                f"not a timestamp or ISO-8601 date: {value!r}"
+            ) from exc
+    else:
+        raise WarehouseError(f"not a timestamp: {value!r}")
+    if dt.tzinfo is None:
+        dt = dt.replace(tzinfo=timezone.utc)
+    return dt.timestamp()
+
+
+def _subset_matches(container: Mapping[str, Any], wanted: Mapping[str, Any]) -> bool:
+    """True when every wanted key is present with a jsonably-equal value."""
+    for key, value in wanted.items():
+        if key not in container:
+            return False
+        if to_jsonable(container[key]) != to_jsonable(value):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One warehoused run: the result plus its storage envelope.
+
+    Attributes:
+        fingerprint: identity digest (see :func:`run_fingerprint`).
+        stored_at: unix timestamp of the append (storage metadata only —
+            never part of the fingerprint).
+        result: the stored :class:`~repro.api.ExperimentResult`.
+        blobs: names of sidecar NPZ arrays under ``blobs/<fingerprint>/``.
+    """
+
+    fingerprint: str
+    stored_at: float
+    result: ExperimentResult
+    blobs: tuple[str, ...] = ()
+
+    @property
+    def stored_at_iso(self) -> str:
+        return datetime.fromtimestamp(self.stored_at, tz=timezone.utc).isoformat()
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "format_version": STORE_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "stored_at": self.stored_at,
+            "blobs": list(self.blobs),
+            "result": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_record(cls, payload: Any) -> "StoredRun":
+        if not isinstance(payload, dict):
+            raise WarehouseError(
+                f"run record must be a JSON object, got {type(payload).__name__}"
+            )
+        version = payload.get("format_version")
+        if version != STORE_FORMAT_VERSION:
+            raise WarehouseError(
+                f"unsupported run-record format version {version!r} "
+                f"(expected {STORE_FORMAT_VERSION})"
+            )
+        fingerprint = payload.get("fingerprint")
+        stored_at = payload.get("stored_at")
+        blobs = payload.get("blobs", [])
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise WarehouseError("run record has no fingerprint")
+        if not isinstance(stored_at, (int, float)) or isinstance(stored_at, bool):
+            raise WarehouseError("run record has no stored_at timestamp")
+        if not isinstance(blobs, list) or not all(
+            isinstance(b, str) for b in blobs
+        ):
+            raise WarehouseError("run record blobs must be a list of names")
+        result = ExperimentResult.from_dict(payload.get("result"))
+        expected = result_fingerprint(result)
+        if fingerprint != expected:
+            raise WarehouseError(
+                f"run record fingerprint {fingerprint[:16]} does not match "
+                f"its result ({expected[:16]}) — tampered or miswritten"
+            )
+        return cls(
+            fingerprint=fingerprint,
+            stored_at=float(stored_at),
+            result=result,
+            blobs=tuple(blobs),
+        )
+
+
+class RunStore:
+    """Append-only, fingerprint-deduplicated store of experiment runs.
+
+    Safe for concurrent appenders (every append is one atomic fsync'd
+    ``O_APPEND`` write) and cheap for long-lived readers: the index is
+    re-read incrementally, only the bytes appended since the last look.
+
+    Example:
+
+        >>> from repro.api import Session
+        >>> from repro.warehouse import RunStore
+        >>> store = RunStore("runs/")                        # doctest: +SKIP
+        >>> session = Session(store=store)                   # doctest: +SKIP
+        >>> session.run("dataset-single", num_keys=1 << 14)  # doctest: +SKIP
+        >>> [r.result.metrics["total_counts"]
+        ...  for r in store.query(experiment="dataset-single")]  # doctest: +SKIP
+        [524288]
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.index_path = self.root / INDEX_NAME
+        self.blobs_root = self.root / BLOBS_DIR
+        self._runs: dict[str, StoredRun] = {}
+        self._order: list[str] = []
+        self._offset = 0  # bytes of the index consumed so far
+        self._lineno = 0  # complete lines consumed so far
+        #: Lines skipped as corrupt across all loads of this instance.
+        self.corrupt_records = 0
+
+    # --- index maintenance ------------------------------------------------
+
+    def _refresh(self) -> None:
+        """Fold index lines appended since the last refresh into memory.
+
+        Incremental: only bytes past the last consumed offset are read,
+        and only *complete* lines (ending in a newline) are consumed — a
+        line another process is mid-append on is left for the next look
+        rather than misread as corrupt.
+        """
+        if not self.index_path.exists():
+            return
+        with open(self.index_path, "rb") as fh:
+            fh.seek(self._offset)
+            chunk = fh.read()
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return
+        complete = chunk[: end + 1]
+        self._offset += len(complete)
+        for raw in complete.split(b"\n")[:-1]:
+            self._lineno += 1
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                run = StoredRun.from_record(
+                    json.loads(raw.decode("utf-8", errors="replace"))
+                )
+            except (json.JSONDecodeError, ReproError) as exc:
+                self.corrupt_records += 1
+                warnings.warn(
+                    f"{self.index_path}:{self._lineno}: skipping corrupt "
+                    f"run record ({exc})",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                continue
+            if run.fingerprint not in self._runs:  # first record wins
+                self._runs[run.fingerprint] = run
+                self._order.append(run.fingerprint)
+
+    # --- writing ----------------------------------------------------------
+
+    def append(
+        self,
+        result: ExperimentResult,
+        *,
+        blobs: Mapping[str, tuple[Mapping[str, np.ndarray], Mapping[str, Any]]]
+        | None = None,
+        stored_at: float | None = None,
+    ) -> StoredRun:
+        """Store a result; a duplicate fingerprint is a no-op.
+
+        Args:
+            result: the run record to persist.
+            blobs: optional sidecar arrays, ``{name: (arrays, metadata)}``,
+                written as NPZ files under ``blobs/<fingerprint>/`` before
+                the index line lands (so a record never references a blob
+                that does not exist).
+            stored_at: override the append timestamp (testing only).
+
+        Returns:
+            The stored run — the pre-existing one when deduplicated, so
+            ``store.append(r).stored_at`` is stable across re-runs.
+        """
+        fingerprint = result_fingerprint(result)
+        self._refresh()
+        existing = self._runs.get(fingerprint)
+        if existing is not None:
+            return existing
+        blob_names: tuple[str, ...] = ()
+        if blobs:
+            for name in blobs:
+                if not _BLOB_NAME.fullmatch(name):
+                    raise WarehouseError(
+                        f"blob name {name!r} must match {_BLOB_NAME.pattern}"
+                    )
+            blob_names = tuple(sorted(blobs))
+            for name in blob_names:
+                arrays, meta = blobs[name]
+                save_arrays(
+                    self.blob_path(fingerprint, name),
+                    dict(arrays),
+                    {"run_fingerprint": fingerprint, **dict(meta)},
+                )
+        run = StoredRun(
+            fingerprint=fingerprint,
+            stored_at=time.time() if stored_at is None else float(stored_at),
+            result=result,
+            blobs=blob_names,
+        )
+        append_jsonl(self.index_path, run.to_record())
+        self._runs[fingerprint] = run
+        self._order.append(fingerprint)
+        return run
+
+    # --- blobs ------------------------------------------------------------
+
+    def blob_path(self, fingerprint: str, name: str) -> Path:
+        return self.blobs_root / fingerprint[:16] / f"{name}.npz"
+
+    def load_blob(
+        self, run: StoredRun | str, name: str
+    ) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        """Load a sidecar NPZ previously attached via ``append(blobs=...)``."""
+        fingerprint = run.fingerprint if isinstance(run, StoredRun) else run
+        arrays, meta = load_arrays(self.blob_path(fingerprint, name))
+        if meta.get("run_fingerprint") != fingerprint:
+            raise WarehouseError(
+                f"blob {name!r} does not belong to run {fingerprint[:16]}"
+            )
+        return arrays, meta
+
+    # --- reading ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        self._refresh()
+        return len(self._order)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        self._refresh()
+        return fingerprint in self._runs
+
+    def get(self, fingerprint: str) -> StoredRun | None:
+        self._refresh()
+        return self._runs.get(fingerprint)
+
+    def runs(self) -> list[StoredRun]:
+        """Every stored run, in append order."""
+        self._refresh()
+        return [self._runs[fp] for fp in self._order]
+
+    def query(
+        self,
+        *,
+        experiment: str | None = None,
+        params: Mapping[str, Any] | None = None,
+        provenance: Mapping[str, Any] | None = None,
+        since: Any = None,
+        until: Any = None,
+    ) -> list[StoredRun]:
+        """Stored runs matching every given filter, in append order.
+
+        Args:
+            experiment: exact registry name.
+            params: subset match against the resolved parameters
+                (values compared after JSON normalisation, so tuples
+                and lists agree).
+            provenance: subset match against the provenance block
+                (e.g. ``{"seed": 97}``).
+            since / until: inclusive ``stored_at`` bounds — unix
+                timestamps, datetimes, or ISO-8601 strings (naive values
+                read as UTC).
+        """
+        lo = _as_timestamp(since) if since is not None else None
+        hi = _as_timestamp(until) if until is not None else None
+        matches = []
+        for run in self.runs():
+            if experiment is not None and run.result.experiment != experiment:
+                continue
+            if params and not _subset_matches(run.result.params, params):
+                continue
+            if provenance and not _subset_matches(
+                run.result.provenance, provenance
+            ):
+                continue
+            if lo is not None and run.stored_at < lo:
+                continue
+            if hi is not None and run.stored_at > hi:
+                continue
+            matches.append(run)
+        return matches
+
+    def experiments(self) -> list[str]:
+        """Distinct experiment names present in the store, sorted."""
+        return sorted({run.result.experiment for run in self.runs()})
+
+
+def results(runs: Iterable[StoredRun | ExperimentResult]) -> list[ExperimentResult]:
+    """Normalise a mixed run sequence down to bare results."""
+    return [run.result if isinstance(run, StoredRun) else run for run in runs]

@@ -116,6 +116,24 @@ def test_verify_job_smokes_fleet_crash_recovery_on_both_native_legs(workflow):
     )
 
 
+def test_verify_job_smokes_warehouse_sweep_and_docs_consistency(workflow):
+    """The verify job must sweep into a store, prove the rerun skips
+    everything (crash-tolerant resume), report from stored runs, and run
+    the warehouse + docs-consistency suites on both REPRO_NATIVE legs."""
+    job = workflow["jobs"]["verify"]
+    assert sorted(job["strategy"]["matrix"]["native"]) == ["0", "1"]
+    runs = _run_lines(job)
+    assert "python -m repro" in runs and " sweep " in runs
+    assert "store report" in runs
+    assert "'skipped': 2" in runs, (
+        "the second sweep must assert everything was skipped (resume path)"
+    )
+    assert "test_warehouse" in runs
+    assert "test_docs_consistency" in runs, (
+        "docs-consistency must gate the verify job"
+    )
+
+
 def test_verify_job_has_soft_fail_regression_step(workflow):
     job = workflow["jobs"]["verify"]
     check_steps = [

@@ -83,6 +83,92 @@ def test_browser_layouts_shift_cookie_offset(capsys):
     assert len(set(spans.values())) == 3, f"layouts must differ: {spans}"
 
 
+def _sweep_argv(store, *, as_json=True):
+    argv = [
+        "--seed", "97", "sweep", "dataset-single",
+        "--store", str(store),
+        "--grid", "num_keys=4096,16384",
+        "--param", "positions=4",
+        "--quiet",
+    ]
+    return argv + ["--json"] if as_json else argv
+
+
+def test_sweep_golden_rerun_skips_everything(capsys, tmp_path):
+    """`sweep` is resumable: the identical rerun recomputes nothing and
+    reports the same plan fingerprints as the first pass."""
+    store = tmp_path / "runs"
+    assert main(_sweep_argv(store)) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["counts"] == {"ran": 2, "skipped": 0, "failed": 0}
+
+    assert main(_sweep_argv(store)) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["counts"] == {"ran": 0, "skipped": 2, "failed": 0}
+    assert [o["fingerprint"] for o in second["outcomes"]] == [
+        o["fingerprint"] for o in first["outcomes"]
+    ]
+
+
+def test_store_query_json_is_bit_identical_to_the_index(capsys, tmp_path):
+    """`store query --json` re-emits exactly what runs.jsonl holds —
+    canonical JSON of each record, byte for byte."""
+    store = tmp_path / "runs"
+    assert main(_sweep_argv(store)) == 0
+    capsys.readouterr()
+
+    assert main(["store", "query", str(store), "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    raw_lines = (store / "runs.jsonl").read_text().splitlines()
+    assert len(records) == len(raw_lines) == 2
+    for record, line in zip(records, raw_lines):
+        assert canonical_json(record) == line
+
+    # Param filters narrow by value (JSON-coerced from the CLI string).
+    assert main([
+        "store", "query", str(store), "--json", "--param", "num_keys=16384",
+    ]) == 0
+    narrowed = json.loads(capsys.readouterr().out)
+    assert [r["result"]["params"]["num_keys"] for r in narrowed] == [16384]
+
+
+def test_store_report_cells_match_stored_records(capsys, tmp_path):
+    """Report cells are canonical JSON of the stored values — every cell
+    is a literal substring of the index file."""
+    store = tmp_path / "runs"
+    assert main(_sweep_argv(store)) == 0
+    capsys.readouterr()
+
+    assert main([
+        "store", "report", str(store),
+        "--experiment", "dataset-single",
+        "--metric", "total_counts",
+    ]) == 0
+    report = capsys.readouterr().out
+    raw = (store / "runs.jsonl").read_text()
+    for record in (json.loads(line) for line in raw.splitlines()):
+        cell = canonical_json(record["result"]["metrics"]["total_counts"])
+        assert cell in report
+        assert cell in raw
+    # The varying grid axis shows up as a column.
+    assert "num_keys" in report
+
+
+def test_fleet_status_help_documents_shard_states(capsys):
+    """The --help epilog enumerates the manifest's shard state machine."""
+    from repro.fleet import STATE_DESCRIPTIONS
+
+    with pytest.raises(SystemExit) as exc:
+        main(["fleet-status", "--help"])
+    assert exc.value.code == 0
+    help_text = capsys.readouterr().out
+    for state, description in STATE_DESCRIPTIONS.items():
+        assert state in help_text
+        # The epilog carries the real description, not just the name.
+        assert description.split(";")[0] in help_text
+    assert "README" in help_text
+
+
 def test_bias_sweep_headline_cells_within_ci(capsys):
     """The emitted record's headline counts obey the binomial CI —
     exercising the reusable fidelity helper from another module."""
