@@ -48,6 +48,7 @@ BENCH_FILES = [
     "test_core_throughput.py",
     "test_dataset_pipeline.py",
     "test_capture_throughput.py",
+    "test_campaign_throughput.py",
 ]
 
 #: -k expression selecting the <60 s smoke subset.

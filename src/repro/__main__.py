@@ -96,7 +96,9 @@ def _describe_params(spec: ExperimentSpec) -> str:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    session = Session(config, cache_dir=args.cache_dir)
+    session = Session(
+        config, cache_dir=args.cache_dir, store=getattr(args, "store", None)
+    )
     if not args.quiet:
         session.add_progress(_print_progress)
     overrides = _parse_params(args.param or [])
@@ -439,6 +441,9 @@ def main(argv: list[str] | None = None) -> int:
                        "('-' prints it to stdout)")
     p_run.add_argument("--cache-dir", default=None,
                        help="on-disk dataset cache directory")
+    p_run.add_argument("--store", default=None, metavar="DIR",
+                       help="also append the result to this results "
+                       "warehouse (created if needed)")
     p_run.add_argument("--quiet", action="store_true",
                        help="suppress progress output")
     p_run.set_defaults(func=_cmd_run)

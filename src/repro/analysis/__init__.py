@@ -8,14 +8,17 @@ baseline diffs, figure regeneration, and binomial-CI fidelity checks
 from .figures import ascii_curve, series_to_csv
 from .report import (
     CiCheck,
+    SurfaceCheck,
     assert_within_ci,
     bias_comparison_table,
+    check_surface_within_ci,
     check_within_ci,
     fidelity_table,
     figure_summary,
     metric_cell,
     probability_notation,
     success_rate_table,
+    surface_table,
     sweep_diff,
     sweep_table,
     varying_params,
@@ -23,9 +26,11 @@ from .report import (
 
 __all__ = [
     "CiCheck",
+    "SurfaceCheck",
     "ascii_curve",
     "assert_within_ci",
     "bias_comparison_table",
+    "check_surface_within_ci",
     "check_within_ci",
     "fidelity_table",
     "figure_summary",
@@ -33,6 +38,7 @@ __all__ = [
     "probability_notation",
     "series_to_csv",
     "success_rate_table",
+    "surface_table",
     "sweep_diff",
     "sweep_table",
     "varying_params",

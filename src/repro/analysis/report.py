@@ -170,6 +170,128 @@ def assert_within_ci(
     )
 
 
+@dataclass(frozen=True)
+class SurfaceCheck:
+    """Verdict of a whole success-surface binomial fit.
+
+    Attributes:
+        cells: per-cell verdicts keyed by the cell label.
+        ok: every cell within its CI.
+        worst_label / worst_deviation: the cell furthest from its model
+            expectation (signed sigmas; 0.0 for an empty surface).
+    """
+
+    cells: dict[str, CiCheck]
+    ok: bool
+    worst_label: str | None
+    worst_deviation: float
+
+
+def _degenerate_ci(observed: int, trials: int, p: float, z: float) -> CiCheck:
+    """CI verdict at p in {0, 1}: the binomial is a point mass."""
+    expected = trials * p
+    exact = observed == int(round(expected))
+    return CiCheck(
+        observed=observed,
+        trials=trials,
+        p=p,
+        z=z,
+        expected=expected,
+        sd=0.0,
+        deviation=0.0 if exact else math.inf,
+        ok=exact,
+    )
+
+
+def check_surface_within_ci(
+    cells: dict[str, tuple[int, int, float]], *, z: float = 4.0
+) -> SurfaceCheck:
+    """Fit a whole success surface to per-cell binomial CIs.
+
+    The surface form of :func:`check_within_ci`: each cell is an
+    ``(observed, trials, reference_p)`` triple (one (browser, charset,
+    regime) population cell of a campaign, say), checked against its own
+    binomial z-sigma interval.  Reference probabilities of exactly 0 or
+    1 are allowed — the binomial degenerates to a point mass, so the
+    cell passes iff the count is exact.  The aggregate verdict is the
+    conjunction; an empty surface passes vacuously.
+    """
+    verdicts: dict[str, CiCheck] = {}
+    worst_label: str | None = None
+    worst = 0.0
+    for label, (observed, trials, p) in cells.items():
+        if 0.0 < p < 1.0:
+            verdict = check_within_ci(observed, trials, p, z=z)
+        elif p in (0.0, 1.0):
+            verdict = _degenerate_ci(observed, trials, p, z)
+        else:
+            raise ValueError(
+                f"cell {label!r}: reference probability must be in [0, 1], "
+                f"got {p}"
+            )
+        verdicts[label] = verdict
+        if worst_label is None or abs(verdict.deviation) > abs(worst):
+            worst_label = label
+            worst = verdict.deviation
+    return SurfaceCheck(
+        cells=verdicts,
+        ok=all(v.ok for v in verdicts.values()),
+        worst_label=worst_label,
+        worst_deviation=worst,
+    )
+
+
+#: Shade ramp for ascii heat cells, darkest-last (0.0 -> ' ', 1.0 -> '@').
+_HEAT_RAMP = " .:-=+*#%@"
+
+
+def _heat_char(value: float, lo: float, hi: float) -> str:
+    if not math.isfinite(value):
+        return "?"
+    if hi <= lo:
+        return _HEAT_RAMP[-1]
+    frac = (value - lo) / (hi - lo)
+    index = min(len(_HEAT_RAMP) - 1, max(0, int(frac * len(_HEAT_RAMP))))
+    return _HEAT_RAMP[index]
+
+
+def surface_table(
+    surface: dict[tuple[Any, Any], float],
+    *,
+    row_label: str = "row",
+    col_label: str = "col",
+    fmt: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Render a 2-D metric surface as an ascii heat table.
+
+    One row per distinct first key component, one column per distinct
+    second component; each cell shows the formatted value plus a shade
+    character scaled to the surface's own range (min -> ' ', max -> '@'),
+    so gradients read at a glance in plain text — the campaign-surface
+    analogue of the paper's Fig 8/10 success grids.
+    """
+    if not surface:
+        raise ValueError("surface_table needs at least one cell")
+    rows = sorted({r for r, _ in surface}, key=str)
+    cols = sorted({c for _, c in surface}, key=str)
+    finite = [v for v in surface.values() if math.isfinite(v)]
+    lo = min(finite) if finite else 0.0
+    hi = max(finite) if finite else 0.0
+    headers = [f"{row_label} \\ {col_label}"] + [str(c) for c in cols]
+    body = []
+    for r in rows:
+        line: list[object] = [str(r)]
+        for c in cols:
+            if (r, c) in surface:
+                value = surface[(r, c)]
+                line.append(f"{fmt.format(value)} {_heat_char(value, lo, hi)}")
+            else:
+                line.append("-")
+        body.append(line)
+    return format_table(headers, body, title=title)
+
+
 def fidelity_table(
     rows: Sequence[tuple[str, int, int, float]],
     *,
@@ -324,6 +446,7 @@ def figure_summary(
     metric: str,
     *,
     series_param: str | None = None,
+    surface_param: str | None = None,
     width: int = 64,
     height: int = 12,
     title: str | None = None,
@@ -332,8 +455,42 @@ def figure_summary(
 
     Plots ``metric`` against the numeric parameter ``x_param``; when
     ``series_param`` is given, one curve per distinct value of it (the
-    shape of the paper's Fig 7/8/10 success-rate families).
+    shape of the paper's Fig 7/8/10 success-rate families).  When
+    ``surface_param`` is given instead, the runs span a 2-D grid and the
+    metric renders as an ascii heat table (:func:`surface_table`) with
+    ``surface_param`` values as rows and ``x_param`` values as columns —
+    the campaign success-surface view.
     """
+    if surface_param is not None:
+        if series_param is not None:
+            raise ValueError(
+                "pass series_param or surface_param, not both"
+            )
+        surface: dict[tuple[Any, Any], float] = {}
+        for run in runs:
+            r = _result_of(run)
+            if (
+                x_param not in r.params
+                or surface_param not in r.params
+                or metric not in r.metrics
+            ):
+                continue
+            key = (
+                metric_cell(r.params[surface_param]),
+                metric_cell(r.params[x_param]),
+            )
+            surface[key] = float(r.metrics[metric])
+        if not surface:
+            raise ValueError(
+                f"no stored run has params {surface_param!r}/{x_param!r} "
+                f"and metric {metric!r}"
+            )
+        return surface_table(
+            surface,
+            row_label=surface_param,
+            col_label=x_param,
+            title=title or metric,
+        )
     groups: dict[str, list[tuple[float, float]]] = {}
     for run in runs:
         r = _result_of(run)

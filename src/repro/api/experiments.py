@@ -17,7 +17,11 @@ result matrix:
 - ``bias-sweep`` — per-position single-byte bias profiles over a
   configurable position range via the fused counting kernels (§3.3.1);
 - ``bias-sweep-pertsc`` — per-TSC keystream sweeps riding the batched
-  capture engine (§5.1), exposing the TSC-dependent Paterson biases.
+  capture engine (§5.1), exposing the TSC-dependent Paterson biases;
+- ``campaign-https`` / ``campaign-tkip`` — the two attacks at fleet
+  scale: a heterogeneous victim population captured in shared-keystream
+  groups via the multi-template kernel, reduced to per-cell
+  success-rate and time-to-first-recovery surfaces.
 
 Implementations receive a :class:`~repro.api.session.RunContext` and
 return a JSON-able metrics dict; parameters are declared on the spec so
@@ -32,6 +36,12 @@ from typing import Any
 import numpy as np
 
 from ..biases import absab_alpha, single_byte_model
+from ..campaign.population import (
+    DEFAULT_BROWSERS,
+    DEFAULT_BUDGETS,
+    DEFAULT_CHARSETS,
+    DEFAULT_RECONNECT_REGIMES,
+)
 from ..core import PlaintextRecovery
 from ..datasets.manager import DatasetSpec
 from ..errors import ExperimentParamError
@@ -1157,4 +1167,254 @@ def _attack_https(ctx) -> dict[str, Any]:
         "capture_hours_equivalent": timeline.capture_hours,
         "bruteforce_seconds_equivalent": result.attempts / PAPER_TEST_RATE,
         "fleet": fleet_metrics,
+    }
+
+
+# --------------------------------------------------------------------------
+# §5/§6 at fleet scale — victim-population campaigns
+# --------------------------------------------------------------------------
+
+
+def _validate_campaign_fleet(p) -> None:
+    """Fleet/checkpoint checks for the campaign experiments (which have a
+    checkpoint *directory* and no ``capture`` fidelity switch)."""
+    if p["distributed"] < 0:
+        raise ExperimentParamError(
+            f"distributed must be >= 0, got {p['distributed']}"
+        )
+    if p["distributed"] and p["checkpoint"]:
+        raise ExperimentParamError(
+            "the fleet manages its own per-shard checkpoints; "
+            "drop checkpoint for distributed campaigns"
+        )
+    if p["job_dir"] and not p["distributed"]:
+        raise ExperimentParamError("job_dir requires distributed > 0")
+
+
+def _parse_names(p, name: str) -> tuple[str, ...]:
+    values = tuple(v.strip() for v in p[name].split(",") if v.strip())
+    if not values:
+        raise ExperimentParamError(f"{name} must name at least one value")
+    return values
+
+
+def _surface_metrics(result) -> list[dict[str, Any]]:
+    """The success surface flattened to JSON-able cell records."""
+    cells = []
+    for key, cell in result.success_surface().items():
+        record = dict(zip(result.axes, key))
+        record.update(cell)
+        cells.append(record)
+    return cells
+
+
+def _emit_surface(ctx, result, stage: str) -> None:
+    from ..analysis import surface_table
+
+    cells = result.heat_cells("rate")
+    if not cells:
+        return
+    axes = "/".join(result.axes[:-1]) or result.axes[0]
+    ctx.emit(
+        stage,
+        "success-rate surface:\n"
+        + surface_table(
+            cells, row_label=axes, col_label=result.axes[-1], fmt="{:.2f}"
+        ),
+    )
+
+
+@experiment(
+    "campaign-https",
+    description="§6 at fleet scale: cookie-recovery success surface over "
+                "a heterogeneous victim population",
+    section="§6",
+    params=(
+        Param("population", scaled=64, maximum=4096,
+              help="victims to sample (0 = empty campaign, a no-op)"),
+        Param("num_requests", scaled=1 << 13, maximum=1 << 24,
+              help="encrypted requests captured per victim group"),
+        Param("cookie_len", default=2,
+              help="secret cookie length per victim"),
+        Param("num_candidates", scaled=1 << 10, maximum=1 << 16,
+              help="Algorithm 2 candidate list size per victim"),
+        Param("max_gap", default=4, help="ABSAB gap cap"),
+        Param("batch_size", default=4096,
+              help="requests per engine batch (must divide by the "
+                   "largest reconnect regime)"),
+        Param("group_size", default=8,
+              help="max victims sharing one keystream capture group"),
+        Param("browsers", kind="str", default=",".join(DEFAULT_BROWSERS),
+              help="comma-separated client-layout axis"),
+        Param("charsets", kind="str", default=",".join(DEFAULT_CHARSETS),
+              help="comma-separated cookie-alphabet axis"),
+        Param("reconnect_regimes", kind="ints",
+              default=DEFAULT_RECONNECT_REGIMES,
+              help="comma-separated requests-per-connection axis"),
+        Param("checkpoint", kind="str", default="",
+              help="campaign checkpoint directory: per-group capture "
+                   "NPZs plus finished-group outcome records; rerunning "
+                   "with the same directory resumes mid-campaign"),
+        Param("distributed", default=0,
+              help="fleet shards per victim group (0 = off; local worker "
+                   "count from REPRO_FLEET_WORKERS)"),
+        Param("job_dir", kind="str", default="",
+              help="fleet job directory, one subdir per victim group "
+                   "(distributed > 0; default: fresh temp dirs)"),
+    ),
+)
+def _campaign_https(ctx) -> dict[str, Any]:
+    from ..campaign import Population, run_https_campaign
+    from ..simulate import tls_timeline
+
+    p = ctx.params
+    if p["population"] < 0:
+        raise ExperimentParamError(
+            f"population must be >= 0, got {p['population']}"
+        )
+    _validate_campaign_fleet(p)
+    population = Population.sample(
+        ctx.config,
+        p["population"],
+        browsers=_parse_names(p, "browsers"),
+        charsets=_parse_names(p, "charsets"),
+        reconnect_regimes=p["reconnect_regimes"],
+        label="campaign-https",
+    )
+    timeline = tls_timeline(p["num_requests"], candidates=p["num_candidates"])
+    ctx.emit(
+        "campaign",
+        f"campaigning against {len(population)} victims "
+        f"({p['num_requests']} requests each, shared-keystream groups "
+        f"of <= {p['group_size']}; ~{timeline.capture_hours:.2f} "
+        "victim-hours at paper rate)",
+        population=len(population),
+    )
+    with ctx.timer("campaign"):
+        result = run_https_campaign(
+            ctx.config,
+            population,
+            num_requests=p["num_requests"],
+            cookie_len=p["cookie_len"],
+            num_candidates=p["num_candidates"],
+            max_gap=p["max_gap"],
+            batch_size=p["batch_size"],
+            group_size=p["group_size"],
+            checkpoint_dir=p["checkpoint"] or None,
+            distributed=p["distributed"],
+            job_dir=p["job_dir"] or None,
+            on_group=lambda i, n, tag: ctx.emit(
+                "capture", f"group {i + 1}/{n}: {tag}"
+            ),
+        )
+    _emit_surface(ctx, result, "surface")
+    fit = result.surface_fit()
+    return {
+        "population": result.trials,
+        "num_groups": result.num_groups,
+        "successes": result.successes,
+        "success_rate": (
+            result.successes / result.trials if result.trials else None
+        ),
+        "surface": _surface_metrics(result),
+        "surface_fit": {
+            "ok": fit.ok,
+            "worst_label": fit.worst_label,
+            "worst_deviation": fit.worst_deviation,
+        },
+        "capture_hours_equivalent": timeline.capture_hours,
+    }
+
+
+@experiment(
+    "campaign-tkip",
+    description="§5 at fleet scale: TKIP decryption campaign over a "
+                "population of per-TSC injection budgets",
+    section="§5",
+    params=(
+        Param("population", scaled=8, maximum=1024,
+              help="victims to sample (0 = empty campaign, a no-op)"),
+        Param("num_tsc", scaled=4, maximum=256,
+              help="TSC values spanning the 16-bit space"),
+        Param("keys_per_tsc", scaled=1 << 10, maximum=1 << 16,
+              help="keys per TSC for the reference distribution map"),
+        Param("budgets", kind="ints", default=DEFAULT_BUDGETS,
+              help="comma-separated packets-per-TSC axis (batched "
+                   "recovery needs paper-scale budgets — see "
+                   "docs/experiment-atlas.md)"),
+        Param("max_candidates", default=1 << 14,
+              help="candidate cap per victim before giving up"),
+        Param("batch_size", default=4096,
+              help="packets per engine batch"),
+        Param("group_size", default=4,
+              help="max victims sharing one keystream capture group"),
+        Param("checkpoint", kind="str", default="",
+              help="campaign checkpoint directory (as campaign-https)"),
+        Param("distributed", default=0,
+              help="fleet shards per victim group (0 = off)"),
+        Param("job_dir", kind="str", default="",
+              help="fleet job directory (distributed > 0)"),
+    ),
+)
+def _campaign_tkip(ctx) -> dict[str, Any]:
+    from ..campaign import Population, run_tkip_campaign
+    from ..simulate import tkip_timeline
+
+    p = ctx.params
+    if p["population"] < 0:
+        raise ExperimentParamError(
+            f"population must be >= 0, got {p['population']}"
+        )
+    if not 1 <= p["num_tsc"] <= 65536:
+        raise ExperimentParamError(
+            f"num_tsc must be 1..65536, got {p['num_tsc']}"
+        )
+    _validate_campaign_fleet(p)
+    population = Population.sample(
+        ctx.config,
+        p["population"],
+        budgets=p["budgets"],
+        label="campaign-tkip",
+    )
+    max_budget = max(p["budgets"])
+    timeline = tkip_timeline(p["num_tsc"] * max_budget)
+    ctx.emit(
+        "campaign",
+        f"campaigning against {len(population)} victims "
+        f"({p['num_tsc']} TSC values, budgets {list(p['budgets'])}; "
+        f"worst cell ~{timeline.capture_hours:.2f} h on-air)",
+        population=len(population),
+    )
+    with ctx.timer("campaign"):
+        result = run_tkip_campaign(
+            ctx.config,
+            population,
+            num_tsc=p["num_tsc"],
+            keys_per_tsc=p["keys_per_tsc"],
+            max_candidates=p["max_candidates"],
+            batch_size=p["batch_size"],
+            group_size=p["group_size"],
+            checkpoint_dir=p["checkpoint"] or None,
+            distributed=p["distributed"],
+            job_dir=p["job_dir"] or None,
+            on_group=lambda i, n, tag: ctx.emit(
+                "capture", f"group {i + 1}/{n}: {tag}"
+            ),
+        )
+    _emit_surface(ctx, result, "surface")
+    fit = result.surface_fit()
+    return {
+        "population": result.trials,
+        "num_groups": result.num_groups,
+        "successes": result.successes,
+        "success_rate": (
+            result.successes / result.trials if result.trials else None
+        ),
+        "surface": _surface_metrics(result),
+        "surface_fit": {
+            "ok": fit.ok,
+            "worst_label": fit.worst_label,
+            "worst_deviation": fit.worst_deviation,
+        },
+        "capture_hours_equivalent": timeline.capture_hours,
     }

@@ -1,0 +1,158 @@
+"""Seeded heterogeneous victim populations.
+
+The paper attacks one victim at a time; the campaign simulator models a
+*fleet* of victims heterogeneous in exactly the axes the library already
+understands — browser header layout (:data:`repro.tls.http
+.BROWSER_PROFILES`), cookie alphabet (:data:`repro.tls.cookies
+.CHARSETS`), TLS reconnect cadence, and TKIP packets-per-TSC budget
+(*False Sense of Security on Protected Wi-Fi Networks* documents that
+client heterogeneity in deployed networks; Beck's *Enhanced TKIP Michael
+Attacks* motivates the per-TSC budget axis).
+
+Sampling is deterministic per victim: victim i's attributes come from
+``config.rng(label, "victim", i)`` and its private seed from
+``child_seed(config.seed, label, "victim-seed", i)`` — functions of
+``(seed, label, index)`` only, never of population order or size.  Any
+victim can therefore be re-instantiated alone, bit-identically, without
+sampling the rest of the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import ReproConfig, child_seed
+from ..errors import CampaignError
+from ..tls.cookies import CHARSETS
+from ..tls.http import BROWSER_PROFILES
+
+#: Default axes: every browser profile, every named cookie alphabet, the
+#: two Fig-10 reconnect regimes, and two per-TSC injection budgets.
+DEFAULT_BROWSERS: tuple[str, ...] = tuple(sorted(BROWSER_PROFILES))
+DEFAULT_CHARSETS: tuple[str, ...] = tuple(sorted(CHARSETS))
+DEFAULT_RECONNECT_REGIMES: tuple[int, ...] = (1, 16)
+DEFAULT_BUDGETS: tuple[int, ...] = (1024, 4096)
+
+
+@dataclass(frozen=True)
+class VictimSpec:
+    """One member of a campaign population.
+
+    Attributes:
+        index: position in the population (stable identity).
+        victim_id: stable string identifier derived from the index.
+        browser: client profile name (header layout + default alphabet).
+        charset: named cookie alphabet the site issued to this victim.
+        reconnect_every: requests per TLS connection before rekeying.
+        packets_per_tsc: TKIP injection budget per TSC value.
+        seed: private master seed — re-instantiating this victim's
+            simulation from ``seed`` alone reproduces its secret
+            bit-exactly.
+    """
+
+    index: int
+    victim_id: str
+    browser: str
+    charset: str
+    reconnect_every: int
+    packets_per_tsc: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class Population:
+    """A sampled victim fleet plus the label that seeded it."""
+
+    label: str
+    victims: tuple[VictimSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.victims)
+
+    def __iter__(self):
+        return iter(self.victims)
+
+    @classmethod
+    def sample(
+        cls,
+        config: ReproConfig,
+        size: int,
+        *,
+        browsers: Sequence[str] = DEFAULT_BROWSERS,
+        charsets: Sequence[str] = DEFAULT_CHARSETS,
+        reconnect_regimes: Sequence[int] = DEFAULT_RECONNECT_REGIMES,
+        budgets: Sequence[int] = DEFAULT_BUDGETS,
+        label: str = "campaign",
+    ) -> "Population":
+        """Draw a deterministic heterogeneous population.
+
+        Victim i's attributes depend only on ``(config.seed, label, i)``
+        — permuting, truncating, or extending the population never
+        changes an existing victim (the seed-independence property
+        tests/test_campaign.py holds by hypothesis).
+        """
+        if size < 0:
+            raise CampaignError(f"population size must be >= 0, got {size}")
+        if not label:
+            raise CampaignError("population label must be non-empty")
+        browsers = tuple(browsers)
+        charsets = tuple(charsets)
+        reconnect_regimes = tuple(int(r) for r in reconnect_regimes)
+        budgets = tuple(int(b) for b in budgets)
+        for axis_name, axis in (
+            ("browsers", browsers),
+            ("charsets", charsets),
+            ("reconnect_regimes", reconnect_regimes),
+            ("budgets", budgets),
+        ):
+            if not axis:
+                raise CampaignError(f"{axis_name} axis must be non-empty")
+        unknown = [b for b in browsers if b not in BROWSER_PROFILES]
+        if unknown:
+            raise CampaignError(
+                f"unknown browsers {unknown}; "
+                f"known: {sorted(BROWSER_PROFILES)}"
+            )
+        unknown = [c for c in charsets if c not in CHARSETS]
+        if unknown:
+            raise CampaignError(
+                f"unknown charsets {unknown}; known: {sorted(CHARSETS)}"
+            )
+        if any(r < 1 for r in reconnect_regimes):
+            raise CampaignError(
+                f"reconnect regimes must be >= 1, got {reconnect_regimes}"
+            )
+        if any(b < 1 for b in budgets):
+            raise CampaignError(f"budgets must be >= 1, got {budgets}")
+        victims = tuple(
+            _sample_victim(
+                config, label, i, browsers, charsets,
+                reconnect_regimes, budgets,
+            )
+            for i in range(size)
+        )
+        return cls(label=label, victims=victims)
+
+
+def _sample_victim(
+    config: ReproConfig,
+    label: str,
+    index: int,
+    browsers: tuple[str, ...],
+    charsets: tuple[str, ...],
+    reconnect_regimes: tuple[int, ...],
+    budgets: tuple[int, ...],
+) -> VictimSpec:
+    rng = config.rng(label, "victim", index)
+    return VictimSpec(
+        index=index,
+        victim_id=f"victim-{index:05d}",
+        browser=browsers[int(rng.integers(len(browsers)))],
+        charset=charsets[int(rng.integers(len(charsets)))],
+        reconnect_every=reconnect_regimes[
+            int(rng.integers(len(reconnect_regimes)))
+        ],
+        packets_per_tsc=budgets[int(rng.integers(len(budgets)))],
+        seed=child_seed(config.seed, label, "victim-seed", index),
+    )

@@ -35,6 +35,13 @@ from .engine import (
     source_fingerprint,
 )
 from .https import HttpsCaptureSource, ingest_cipher_rows
+from .multi import (
+    MultiHttpsCaptureSource,
+    MultiTemplateStatistics,
+    MultiTkipCaptureSource,
+    MultiTkipStatistics,
+    ingest_keystream_columns,
+)
 from .protocol import SufficientStatistics
 from .tkip import TkipCaptureSource
 
@@ -42,10 +49,15 @@ __all__ = [
     "CaptureProgress",
     "CaptureSource",
     "HttpsCaptureSource",
+    "MultiHttpsCaptureSource",
+    "MultiTemplateStatistics",
+    "MultiTkipCaptureSource",
+    "MultiTkipStatistics",
     "SufficientStatistics",
     "TkipCaptureSource",
     "batch_digest",
     "ingest_cipher_rows",
+    "ingest_keystream_columns",
     "merge_shards",
     "run_capture",
     "shard_batches",

@@ -31,19 +31,24 @@ from pathlib import Path
 import numpy as np
 
 from ..config import ReproConfig
-from ..datasets.generate import DIGRAPH_GROUP, digraph_row_counts
 from ..errors import AttackError, CaptureError
 from ..rc4.batch import batch_keystream
 from ..rc4.keygen import derive_keys
 from ..tls.attack import CookieLayout, CookieStatistics
 from ..tls.record import MAC_LEN
 from ..utils.serialization import canonical_json
+from .multi import ingest_keystream_columns
 
 
 def ingest_cipher_rows(
     stats: CookieStatistics, rows: np.ndarray, offset: int = 1
 ) -> None:
     """Vectorized equivalent of per-row ``ingest_fragment`` calls.
+
+    A single-victim facade over the multi-template core
+    (:func:`repro.capture.multi.ingest_keystream_columns`): ciphertext
+    rows are keystream rows with the template already folded in, so the
+    zero template reproduces the historical counts bit-exactly.
 
     Args:
         stats: the statistics to accumulate into (its ``absab_matrix``
@@ -70,48 +75,8 @@ def ingest_cipher_rows(
             "(build statistics with CookieStatistics.empty)"
         )
     columns = np.ascontiguousarray(rows.T)
-
-    transitions = layout.transitions()
-    first = transitions[0] - layout.base_offset
-    count = len(transitions)
-    digraph_row_counts(
-        columns[first : first + count],
-        columns[first + 1 : first + count + 1],
-        stats.fm_counts.reshape(-1),
-        np.arange(count, dtype=np.int64) * 65536,
-    )
-
-    base = layout.base_offset
-    targets, partners = [], []
-    for (t, gap, side) in stats.absab_counts:
-        r = transitions[t]
-        if side == "after":
-            p1 = r + 2 + gap
-        else:
-            p1 = r - 2 - gap
-        targets.append(r - base)
-        partners.append(p1 - base)
-    targets = np.asarray(targets, dtype=np.intp)
-    partners = np.asarray(partners, dtype=np.intp)
-    flat = stats.absab_matrix.reshape(-1)
-    offsets = np.arange(len(targets), dtype=np.int64) * 65536
-    # Chunk the alignment axis so the (chunk, n) differential blocks
-    # stay cache-sized; a 16-char cookie at max_gap=128 has thousands
-    # of alignments.
-    chunk = 64
-    scratch = np.empty(
-        (min(DIGRAPH_GROUP, len(targets)), rows.shape[0]), dtype=np.int32
-    )
-    for start in range(0, len(targets), chunk):
-        t_idx = targets[start : start + chunk]
-        p_idx = partners[start : start + chunk]
-        d1 = columns[t_idx] ^ columns[p_idx]
-        d2 = columns[t_idx + 1] ^ columns[p_idx + 1]
-        digraph_row_counts(
-            d1, d2, flat, offsets[start : start + chunk], scratch=scratch
-        )
-
-    stats.num_requests += rows.shape[0]
+    template = np.zeros((1, layout.request_len), dtype=np.uint8)
+    ingest_keystream_columns([stats], columns, template, offset=offset)
 
 
 @dataclass
@@ -269,6 +234,12 @@ class HttpsCaptureSource:
         stream = batch_keystream(
             keys, length, threads=self.config.native_threads
         )
+        # One transpose for the whole block; each request window is a
+        # column view and the template folds inside the multi-template
+        # core (single-victim fast path — one XOR, then zero-template
+        # counting, bit-identical to XOR-then-count).
+        columns = np.ascontiguousarray(stream.T)
+        template = self._plaintext_arr[np.newaxis, :]
         for q in range(per_conn):
             # Connections whose q-th request exists (the final connection
             # of the final batch may carry fewer than per_conn requests).
@@ -276,11 +247,13 @@ class HttpsCaptureSource:
             if rows <= 0:
                 break
             start = q * self._stride
-            cipher = (
-                stream[:rows, start : start + self.layout.request_len]
-                ^ self._plaintext_arr
-            )
-            ingest_cipher_rows(
-                stats, cipher, offset=self.layout.base_offset + start
+            window = columns[
+                start : start + self.layout.request_len, :rows
+            ]
+            ingest_keystream_columns(
+                [stats],
+                window,
+                template,
+                offset=self.layout.base_offset + start,
             )
         return count

@@ -138,6 +138,48 @@ def digraph_row_counts(
             flat_out[offset : offset + 65536] += counts[idx]
 
 
+def templated_row_counts(
+    rows: np.ndarray,
+    templates: np.ndarray,
+    out: np.ndarray,
+    *,
+    group: int = SINGLE_GROUP,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """Count ``rows ^ template`` histograms for many templates at once.
+
+    For every template v, row r, and column c this performs
+    ``out[v, r, rows[r, c] ^ templates[v, r]] += 1`` — the multi-victim
+    single-byte capture kernel.  Because XOR with a constant is a
+    permutation of the 256 bins, the shared ``rows`` block is bincounted
+    exactly once (:func:`bytewise_row_counts`) and each template then
+    scatters the base histogram through its per-row XOR permutation:
+    O(rows * n + V * rows * 256) instead of O(V * rows * n), with
+    bit-identical int64 results.  ``rows`` is uint8 ``(m, n)``;
+    ``templates`` is uint8 ``(V, m)``; ``out`` must be int64
+    ``(V, m, 256)`` with C-contiguous per-template blocks.
+    """
+    m, _ = rows.shape
+    num_templates, t_rows = templates.shape
+    if t_rows != m:
+        raise ValueError(
+            f"templates cover {t_rows} rows, rows block has {m}"
+        )
+    if out.shape != (num_templates, m, 256):
+        raise ValueError(
+            f"out must be ({num_templates}, {m}, 256), got {out.shape}"
+        )
+    base = np.zeros((m, 256), dtype=np.int64)
+    bytewise_row_counts(rows, base, group=group, scratch=scratch)
+    values = np.arange(256, dtype=np.uint8)[None, :]
+    row_idx = np.arange(m)[:, None]
+    for v in range(num_templates):
+        # out[v, r, c] += base[r, c ^ templates[v, r]]: gather the base
+        # histogram through this template's per-row bin permutation.
+        out[v] += base[row_idx, values ^ templates[v][:, None]]
+    return out
+
+
 def _contiguous_target(out: np.ndarray) -> np.ndarray:
     """Staging counter for caller-provided ``out`` buffers.
 

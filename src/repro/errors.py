@@ -64,6 +64,10 @@ class CaptureError(ReproError):
     """The capture engine was misconfigured or a checkpoint is unusable."""
 
 
+class CampaignError(ReproError):
+    """A victim-population campaign was declared or resumed inconsistently."""
+
+
 class FleetError(ReproError):
     """The distributed capture fleet hit a coordination failure."""
 

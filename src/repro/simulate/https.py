@@ -26,6 +26,7 @@ from ..tls.attack import (
     run_attack,
 )
 from ..tls.bruteforce import BruteForceOracle, CandidatePruner
+from ..tls.cookies import charset as charset_by_name
 from ..tls.cookies import random_cookie
 from ..tls.http import CookieJar, browser_profile
 from ..tls.mitm import MitmCampaign
@@ -49,18 +50,27 @@ class HttpsAttackSimulation:
             cookie alphabet the simulated site issues to that client.
             ``generic`` is the paper's Listing-3 layout and keeps every
             byte identical to earlier releases.
+        charset: named cookie alphabet override (see
+            :data:`repro.tls.cookies.CHARSETS`); ``None`` keeps the
+            browser profile's default.  Campaign populations vary this
+            axis independently of the browser layout.
     """
 
     config: ReproConfig
     cookie_len: int = 16
     max_gap: int = 128
     browser: str = "generic"
+    charset: str | None = None
 
     def __post_init__(self) -> None:
         self.profile = browser_profile(self.browser)
+        if self.charset is None:
+            self.cookie_charset = self.profile.cookie_charset
+        else:
+            self.cookie_charset = charset_by_name(self.charset)
         rng = self.config.rng("https-sim", "cookie")
         secret = random_cookie(
-            rng, self.cookie_len, charset=self.profile.cookie_charset
+            rng, self.cookie_len, charset=self.cookie_charset
         )
         jar = CookieJar()
         jar.set_cookie("tracking", b"abcdef0123")
@@ -195,13 +205,13 @@ class HttpsAttackSimulation:
         """
         oracle = BruteForceOracle(self.secret)
         pruner = CandidatePruner.for_layout(
-            self.layout, self.profile.cookie_charset
+            self.layout, self.cookie_charset
         )
         result = run_attack(
             stats,
             oracle,
             num_candidates=num_candidates,
-            charset=self.profile.cookie_charset,
+            charset=self.cookie_charset,
             pruner=pruner,
         )
         if result.cookie != self.secret:

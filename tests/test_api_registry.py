@@ -48,6 +48,13 @@ TINY_OVERRIDES = {
     "bias-sweep": dict(num_keys=4096, end=8),
     "bias-sweep-digraph": dict(num_keys=1024, end=4),
     "bias-sweep-pertsc": dict(num_tsc=2, packets_per_tsc=512, end=8),
+    "campaign-https": dict(
+        population=4, num_requests=512, num_candidates=64, group_size=2,
+    ),
+    "campaign-tkip": dict(
+        population=3, num_tsc=2, keys_per_tsc=256, budgets=(64, 128),
+        max_candidates=64, group_size=2,
+    ),
 }
 
 

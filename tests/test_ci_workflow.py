@@ -134,6 +134,31 @@ def test_verify_job_smokes_warehouse_sweep_and_docs_consistency(workflow):
     )
 
 
+def test_verify_job_smokes_the_campaign_simulator(workflow):
+    """The verify job must run a tiny heterogeneous campaign-https
+    population through the shared-keystream multi-template path on both
+    REPRO_NATIVE legs: --json round-trip, a warehouse append, and the
+    campaign test suite."""
+    job = workflow["jobs"]["verify"]
+    assert sorted(job["strategy"]["matrix"]["native"]) == ["0", "1"]
+    runs = _run_lines(job)
+    assert "campaign-https" in runs, "verify job must smoke campaign-https"
+    assert "population=4" in runs, "the smoke population must stay tiny"
+    campaign_steps = [
+        s for s in _steps(job) if "campaign-https" in s.get("run", "")
+    ]
+    step = campaign_steps[0]["run"]
+    assert "ExperimentResult" in step, (
+        "campaign smoke must validate the emitted JSON record"
+    )
+    assert "--store" in step and "RunStore" in step, (
+        "campaign smoke must append to a warehouse store and query it back"
+    )
+    assert "test_campaign" in runs, (
+        "verify job must run tests/test_campaign.py"
+    )
+
+
 def test_verify_job_has_soft_fail_regression_step(workflow):
     job = workflow["jobs"]["verify"]
     check_steps = [
