@@ -52,7 +52,9 @@ def test_batch_rc4_prga_scalar_1t(benchmark, rng):
     keys = rng.integers(0, 256, size=(1 << 13, 16), dtype=np.uint8)
     benchmark.extra_info["keys"] = 1 << 13
     result = benchmark(
-        lambda: _native.batch_keystream(keys, 64, threads=1, interleave=False)
+        lambda: _native.batch_keystream(
+            keys, 64, threads=1, interleave=False, simd=False
+        )
     )
     assert result.shape == (1 << 13, 64)
 
@@ -64,7 +66,25 @@ def test_batch_rc4_prga_interleaved_1t(benchmark, rng):
     keys = rng.integers(0, 256, size=(1 << 13, 16), dtype=np.uint8)
     benchmark.extra_info["keys"] = 1 << 13
     result = benchmark(
-        lambda: _native.batch_keystream(keys, 64, threads=1, interleave=True)
+        lambda: _native.batch_keystream(
+            keys, 64, threads=1, interleave=True, simd=False
+        )
+    )
+    assert result.shape == (1 << 13, 64)
+
+
+def test_batch_rc4_prga_simd_1t(benchmark, rng):
+    """Ablation: one thread, AVX2 wide PRGA — 32 transposed lane-major
+    states per loop with gathered S-box reads.  Together with the scalar
+    and interleaved ablations this isolates the full dispatch-tier chain
+    on one core (skipped on non-AVX2 hardware)."""
+    _native = _native_or_skip()
+    if not _native.simd_available():
+        pytest.skip("SIMD tier unavailable (no AVX2)")
+    keys = rng.integers(0, 256, size=(1 << 13, 16), dtype=np.uint8)
+    benchmark.extra_info["keys"] = 1 << 13
+    result = benchmark(
+        lambda: _native.batch_keystream(keys, 64, threads=1, simd=True)
     )
     assert result.shape == (1 << 13, 64)
 

@@ -168,7 +168,7 @@ def _run_dataset(ctx, spec: DatasetSpec) -> np.ndarray:
     description="Single-byte keystream distributions Pr[Z_r = k]",
     section="§3.2",
     params=(
-        Param("num_keys", scaled=1 << 16, maximum=1 << 26,
+        Param("num_keys", scaled=1 << 17, maximum=1 << 26,
               help="independent RC4 keys to count"),
         Param("positions", default=32, help="leading keystream positions"),
     ),
@@ -193,7 +193,7 @@ def _dataset_single(ctx) -> dict[str, Any]:
     description="Consecutive digraph distributions Pr[(Z_r, Z_r+1)]",
     section="§3.2",
     params=(
-        Param("num_keys", scaled=1 << 14, maximum=1 << 24),
+        Param("num_keys", scaled=1 << 15, maximum=1 << 24),
         Param("positions", default=16, help="leading digraph positions"),
     ),
 )
@@ -219,7 +219,7 @@ def _dataset_consec(ctx) -> dict[str, Any]:
     description="Joint distributions of selected position pairs (Z_a, Z_b)",
     section="§3.2",
     params=(
-        Param("num_keys", scaled=1 << 16, maximum=1 << 24),
+        Param("num_keys", scaled=1 << 17, maximum=1 << 24),
         Param("pairs", kind="pairs", default=((1, 2), (15, 16), (31, 32)),
               help="position pairs a:b, comma-separated"),
     ),
@@ -244,7 +244,7 @@ def _dataset_pairs(ctx) -> dict[str, Any]:
     description="Equality events Pr[Z_a = Z_b] for selected pairs",
     section="§3.2",
     params=(
-        Param("num_keys", scaled=1 << 16, maximum=1 << 24),
+        Param("num_keys", scaled=1 << 17, maximum=1 << 24),
         Param("pairs", kind="pairs", default=((1, 2), (15, 16)),
               help="position pairs a:b, comma-separated"),
     ),
@@ -322,7 +322,7 @@ POWER_ROWS = (
     description="Hypothesis-test bias detection with Holm correction + power",
     section="§3.1",
     params=(
-        Param("num_keys", scaled=1 << 19, maximum=1 << 26),
+        Param("num_keys", scaled=1 << 20, maximum=1 << 26),
         Param("positions", default=32, help="single-byte scan width"),
         Param("pairs", kind="pairs", default=((15, 16), (31, 32), (1, 2)),
               help="pairs for the dependence scan"),
@@ -405,7 +405,7 @@ def _bias_hunt(ctx) -> dict[str, Any]:
     description="Broadcast recovery: Mantin-Shamir bias + Algorithm 1 list",
     section="§4.1",
     params=(
-        Param("num_ciphertexts", scaled=1 << 15, maximum=1 << 24,
+        Param("num_ciphertexts", scaled=1 << 16, maximum=1 << 24,
               help="independent encryptions of the same plaintext"),
         Param("positions", default=4, help="plaintext length in bytes"),
         Param("secret_byte", default=0x42,
@@ -432,7 +432,8 @@ def _recovery_broadcast(ctx) -> dict[str, Any]:
     with ctx.timer("encrypt"):
         keys = derive_keys(ctx.config, "api-broadcast", p["num_ciphertexts"])
         stream = batch_keystream(
-            keys, positions, threads=ctx.config.native_threads
+            keys, positions, threads=ctx.config.native_threads,
+            simd=ctx.config.native_simd,
         )
         cipher = stream ^ np.frombuffer(plaintext, dtype=np.uint8)
         counts = np.zeros((positions, 256), dtype=np.int64)
@@ -503,6 +504,7 @@ def _absab_gap(ctx) -> dict[str, Any]:
         stream = batch_keystream(
             keys, p["stream_len"], drop=p["drop"],
             threads=ctx.config.native_threads,
+            simd=ctx.config.native_simd,
         ).astype(np.int32)
         digraphs = (stream[:, :-1] << 8) | stream[:, 1:]
 
@@ -798,7 +800,7 @@ def _sweep_headline_cells() -> list[tuple[int, int, float]]:
     description="Per-position single-byte bias profile over a position range",
     section="§3.3.1",
     params=(
-        Param("num_keys", scaled=1 << 16, maximum=1 << 26,
+        Param("num_keys", scaled=1 << 17, maximum=1 << 26,
               help="independent RC4 keys to count"),
         Param("start", default=1, help="first 1-indexed position (inclusive)"),
         Param("end", default=64, help="last 1-indexed position (inclusive)"),
@@ -882,7 +884,7 @@ def _bias_sweep(ctx) -> dict[str, Any]:
     description="Per-position consecutive-digraph profile vs the FM model",
     section="§3.3.1",
     params=(
-        Param("num_keys", scaled=1 << 14, maximum=1 << 24,
+        Param("num_keys", scaled=1 << 15, maximum=1 << 24,
               help="independent RC4 keys to count"),
         Param("start", default=1, help="first digraph start position"),
         Param("end", default=16, help="last digraph start position"),

@@ -267,6 +267,7 @@ class Session:
             "native": config.native and _native.available(),
             "native_threads": config.native_threads,
             "native_interleave": config.native_interleave,
+            "native_simd": config.native_simd and _native.simd_available(),
         }
 
 

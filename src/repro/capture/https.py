@@ -232,7 +232,8 @@ class HttpsCaptureSource:
         )
         length = (per_conn - 1) * self._stride + self.layout.request_len
         stream = batch_keystream(
-            keys, length, threads=self.config.native_threads
+            keys, length, threads=self.config.native_threads,
+            simd=self.config.native_simd,
         )
         # One transpose for the whole block; each request window is a
         # column view and the template folds inside the multi-template

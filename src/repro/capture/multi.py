@@ -497,7 +497,8 @@ class MultiHttpsCaptureSource:
         )
         length = (per_conn - 1) * self._stride + self.layout.request_len
         stream = batch_keystream(
-            keys, length, threads=self.config.native_threads
+            keys, length, threads=self.config.native_threads,
+            simd=self.config.native_simd,
         )
         columns = np.ascontiguousarray(stream.T)
         for q in range(per_conn):
@@ -833,7 +834,8 @@ class MultiTkipCaptureSource:
         rng = self.config.rng(self.label, "keys", tsc, part)
         keys = simplified_key_batch(tsc, count, rng)
         stream = batch_keystream(
-            keys, self.plaintext_len, threads=self.config.native_threads
+            keys, self.plaintext_len, threads=self.config.native_threads,
+            simd=self.config.native_simd,
         )
         stats.ingest_rows(tsc, stream, self._template_matrix)
         return count * len(self.plaintexts)

@@ -160,7 +160,8 @@ class TkipCaptureSource:
         rng = self.config.rng(self.label, "keys", tsc, part)
         keys = simplified_key_batch(tsc, count, rng)
         stream = batch_keystream(
-            keys, len(self.plaintext), threads=self.config.native_threads
+            keys, len(self.plaintext), threads=self.config.native_threads,
+            simd=self.config.native_simd,
         )
         stats.ingest_rows(tsc, stream ^ self._plaintext_arr)
         return count

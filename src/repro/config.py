@@ -17,11 +17,12 @@ count and backend knob in the library:
     via :func:`child_seed`, so independent subsystems never share streams.
 
 ``REPRO_NATIVE`` / ``REPRO_NATIVE_THREADS`` / ``REPRO_NATIVE_INTERLEAVE``
-/ ``REPRO_NATIVE_CC``
+/ ``REPRO_NATIVE_SIMD`` / ``REPRO_NATIVE_CC``
     The compiled statistics backend (:mod:`repro.rc4._native`): enabled
     flag, kernel thread count (default ``os.cpu_count()``), interleaved
-    vs scalar kernels, and a compiler pin.  All results are bit-exact
-    for every setting.
+    vs scalar kernels, the runtime-dispatched AVX2 wide kernels (on by
+    default, harmless on hardware without AVX2), and a compiler pin.
+    All results are bit-exact for every setting.
 
 ``REPRO_FLEET_LEASE_TTL`` / ``REPRO_FLEET_RETRY_BUDGET`` /
 ``REPRO_FLEET_BACKOFF_BASE`` / ``REPRO_FLEET_WORKERS``
@@ -52,6 +53,7 @@ _ENV_SEED = "REPRO_SEED"
 _ENV_NATIVE = "REPRO_NATIVE"
 _ENV_NATIVE_THREADS = "REPRO_NATIVE_THREADS"
 _ENV_NATIVE_INTERLEAVE = "REPRO_NATIVE_INTERLEAVE"
+_ENV_NATIVE_SIMD = "REPRO_NATIVE_SIMD"
 _ENV_NATIVE_CC = "REPRO_NATIVE_CC"
 _ENV_FLEET_LEASE_TTL = "REPRO_FLEET_LEASE_TTL"
 _ENV_FLEET_RETRY_BUDGET = "REPRO_FLEET_RETRY_BUDGET"
@@ -83,6 +85,9 @@ class ReproConfig:
             means the backend default (``os.cpu_count()``).
         native_interleave: use the interleaved PRGA kernels (multiple
             independent RC4 states per loop iteration).
+        native_simd: allow the runtime-dispatched AVX2 wide kernels (32
+            states per loop); silently degrades to the interleaved or
+            scalar tier on hardware or builds without AVX2.
         native_cc: pinned C compiler for the on-demand build, or ``None``
             for the ``cc``/``gcc``/``clang`` probe order.
         fleet_lease_ttl: seconds without a heartbeat before a fleet
@@ -100,6 +105,7 @@ class ReproConfig:
     native: bool = True
     native_threads: int | None = None
     native_interleave: bool = True
+    native_simd: bool = True
     native_cc: str | None = None
     fleet_lease_ttl: float = DEFAULT_FLEET_LEASE_TTL
     fleet_retry_budget: int = DEFAULT_FLEET_RETRY_BUDGET
@@ -191,6 +197,11 @@ def env_native_interleave() -> bool:
     return os.environ.get(_ENV_NATIVE_INTERLEAVE, "").strip() not in _OFF_VALUES
 
 
+def env_native_simd() -> bool:
+    """``REPRO_NATIVE_SIMD``: False only on an explicit 0/off/false."""
+    return os.environ.get(_ENV_NATIVE_SIMD, "").strip() not in _OFF_VALUES
+
+
 def env_native_cc() -> str | None:
     """``REPRO_NATIVE_CC``: pinned compiler path, or ``None`` when unset."""
     pinned = os.environ.get(_ENV_NATIVE_CC, "").strip()
@@ -264,6 +275,7 @@ def get_config() -> ReproConfig:
         native=env_native_enabled(),
         native_threads=threads,
         native_interleave=env_native_interleave(),
+        native_simd=env_native_simd(),
         native_cc=env_native_cc(),
         fleet_lease_ttl=env_fleet_lease_ttl(),
         fleet_retry_budget=max(1, env_fleet_retry_budget()),

@@ -199,11 +199,14 @@ def _keystream_block(
     *,
     drop: int = 0,
     threads: int | None = None,
+    simd: bool | None = None,
 ) -> np.ndarray:
     """Full ``(length, n)`` keystream block (pair/equality kernels only)."""
     if _native.available():
         return np.ascontiguousarray(
-            _native.batch_keystream(keys, length, drop=drop, threads=threads).T
+            _native.batch_keystream(
+                keys, length, drop=drop, threads=threads, simd=simd
+            ).T
         )
     batch = BatchRC4(keys)
     if drop:
@@ -217,19 +220,21 @@ def single_byte_counts(
     *,
     out: np.ndarray | None = None,
     threads: int | None = None,
+    simd: bool | None = None,
 ) -> np.ndarray:
     """Count Z_r = k occurrences for r = 1..positions.
 
     Returns (or accumulates into ``out``) an int64 array of shape
-    ``(positions, 256)``.  ``threads`` selects the native backend's
-    thread count (the numpy fallback ignores it).
+    ``(positions, 256)``.  ``threads`` and ``simd`` select the native
+    backend's thread count and AVX2 tier (the numpy fallback ignores
+    both).
     """
     keys = np.ascontiguousarray(keys, dtype=np.uint8)
     if out is None:
         out = np.zeros((positions, 256), dtype=np.int64)
     target = _contiguous_target(out)
     if _native.available():
-        _native.count_single(keys, positions, target, threads=threads)
+        _native.count_single(keys, positions, target, threads=threads, simd=simd)
     else:
         scratch = np.empty(
             (min(SINGLE_GROUP, positions), keys.shape[0]), dtype=np.int32
@@ -291,6 +296,7 @@ def consec_digraph_counts(
     *,
     out: np.ndarray | None = None,
     threads: int | None = None,
+    simd: bool | None = None,
 ) -> np.ndarray:
     """Count consecutive digraphs (Z_r, Z_{r+1}) for r = 1..positions.
 
@@ -306,7 +312,7 @@ def consec_digraph_counts(
         out = np.zeros((positions, 256, 256), dtype=np.int64)
     target = _contiguous_target(out)
     if _native.available():
-        _native.count_digraph(keys, positions, target, threads=threads)
+        _native.count_digraph(keys, positions, target, threads=threads, simd=simd)
     else:
         row_offsets = np.arange(positions, dtype=np.int64) * 65536
         _streamed_digraph_counts(
@@ -328,6 +334,7 @@ def pair_counts(
     *,
     out: np.ndarray | None = None,
     threads: int | None = None,
+    simd: bool | None = None,
 ) -> np.ndarray:
     """Count joint values of arbitrary position pairs (a, b) with a != b.
 
@@ -340,7 +347,7 @@ def pair_counts(
         if a < 1 or b < 1 or a == b:
             raise ValueError(f"invalid position pair ({a}, {b})")
     length = max(max(a, b) for a, b in pairs)
-    rows = _keystream_block(keys, length, threads=threads)
+    rows = _keystream_block(keys, length, threads=threads, simd=simd)
     if out is None:
         out = np.zeros((len(pairs), 256, 256), dtype=np.int64)
     target = _contiguous_target(out)
@@ -363,6 +370,7 @@ def equality_counts(
     *,
     out: np.ndarray | None = None,
     threads: int | None = None,
+    simd: bool | None = None,
 ) -> np.ndarray:
     """Count the events Z_a == Z_b for the requested pairs (paper eqs 3-5).
 
@@ -375,7 +383,7 @@ def equality_counts(
         if a < 1 or b < 1 or a == b:
             raise ValueError(f"invalid position pair ({a}, {b})")
     length = max(max(a, b) for a, b in pairs)
-    rows = _keystream_block(keys, length, threads=threads)
+    rows = _keystream_block(keys, length, threads=threads, simd=simd)
     n = keys.shape[0]
     if out is None:
         out = np.zeros((len(pairs), 2), dtype=np.int64)
@@ -393,6 +401,7 @@ def longterm_digraph_counts(
     gap: int = 0,
     out: np.ndarray | None = None,
     threads: int | None = None,
+    simd: bool | None = None,
 ) -> np.ndarray:
     """Count digraphs (Z_r, Z_{r+1+gap}) aggregated by i = r mod 256.
 
@@ -409,6 +418,8 @@ def longterm_digraph_counts(
         out: optional ``(256, 256, 256)`` int64 accumulator indexed
             ``[i, first, second]``.
         threads: native-backend thread count (numpy fallback ignores it).
+        simd: allow the native AVX2 wide kernels (numpy fallback
+            ignores it).
 
     Returns:
         int64 array of shape ``(256, 256, 256)``.
@@ -422,7 +433,9 @@ def longterm_digraph_counts(
         out = np.zeros((256, 256, 256), dtype=np.int64)
     target = _contiguous_target(out)
     if _native.available():
-        _native.count_longterm(keys, stream_len, drop, gap, target, threads=threads)
+        _native.count_longterm(
+            keys, stream_len, drop, gap, target, threads=threads, simd=simd
+        )
     else:
         # Position r (1-indexed within this block) sits at absolute
         # position drop + r, so the PRGA counter for its output is

@@ -118,17 +118,24 @@ def _accumulate(
     keys: np.ndarray,
     out: np.ndarray,
     threads: int | None = 1,
+    simd: bool | None = None,
 ) -> None:
     if spec.kind == "single":
-        kernels.single_byte_counts(keys, spec.positions, out=out, threads=threads)
+        kernels.single_byte_counts(
+            keys, spec.positions, out=out, threads=threads, simd=simd
+        )
     elif spec.kind == "consec":
         kernels.consec_digraph_counts(
-            keys, spec.positions, out=out, threads=threads
+            keys, spec.positions, out=out, threads=threads, simd=simd
         )
     elif spec.kind == "pairs":
-        kernels.pair_counts(keys, list(spec.pairs), out=out, threads=threads)
+        kernels.pair_counts(
+            keys, list(spec.pairs), out=out, threads=threads, simd=simd
+        )
     elif spec.kind == "equality":
-        kernels.equality_counts(keys, list(spec.pairs), out=out, threads=threads)
+        kernels.equality_counts(
+            keys, list(spec.pairs), out=out, threads=threads, simd=simd
+        )
     elif spec.kind == "longterm":
         kernels.longterm_digraph_counts(
             keys,
@@ -137,6 +144,7 @@ def _accumulate(
             gap=spec.gap,
             out=out,
             threads=threads,
+            simd=simd,
         )
     else:
         raise DatasetError(f"unknown dataset kind {spec.kind!r}")
@@ -162,7 +170,7 @@ def _count_shard(
             take,
             keylen=spec.keylen,
         )
-        _accumulate(spec, keys, out, threads=threads)
+        _accumulate(spec, keys, out, threads=threads, simd=config.native_simd)
         remaining -= take
         part += 1
 

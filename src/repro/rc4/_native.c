@@ -6,13 +6,34 @@
  * is run start-to-finish with its 256-byte state in L1, which is the
  * same layout the paper's C workers used (§3.2).
  *
- * Two levels of parallelism sit on top of the scalar per-key loops:
+ * Three levels of parallelism sit on top of the scalar per-key loops:
  *
  * - Interleaving: the PRGA recurrence (i, j, two state loads, a swap, an
  *   output gather) is a serial dependency chain, so a single state leaves
  *   most of the core idle.  The interleaved kernels advance RC4_IL
  *   independent states per loop iteration; their chains overlap and the
  *   four 256-byte states still fit in L1 together.
+ * - AVX2 SIMD (runtime-dispatched): the wide kernels advance RC4_WIDE
+ *   (32) independent states per loop iteration in a lane-major
+ *   transposed layout ST[value][lane].  Because every instance shares
+ *   the public counter i, the row ST[i] is one aligned 32-byte vector
+ *   load and the per-lane j update is a single vpaddb — the adds and the
+ *   S[i] row traffic vanish into vector ops.  The per-lane S[j] reads
+ *   and the output reads S[S[i]+S[j]] run as vpgatherdd dword gathers
+ *   (4 x 8 lanes, masked to the low byte, repacked with packus/vpshufb);
+ *   measured against scalar byte loads staged through a store-forwarded
+ *   buffer, the gathers won on every fused kernel — the staging variant
+ *   stalls each round on 32 narrow reloads of a just-stored vector.
+ *   Only the swap scatter S[j] = old S[i] stays scalar, because AVX2 has
+ *   no byte scatter.  (A vpshufb-binned counting pass for the fused
+ *   kernels was rejected at the design stage: 256-bin histograms need 16
+ *   shuffle/compare rounds per 32-byte vector, so the counter increments
+ *   stay scalar and the SIMD win comes from generation.)  Selection is
+ *   strictly runtime: the wide
+ *   kernels compile behind __attribute__((target("avx2"))) and only run
+ *   when __builtin_cpu_supports("avx2") says the CPU has them, so one
+ *   artefact serves every x86-64 machine and non-x86 builds skip the
+ *   tier entirely at preprocessing time.
  * - POSIX threads: keys split into contiguous ranges, one range per
  *   thread.  Keystream threads write disjoint output rows; counting
  *   threads accumulate into private zero-initialised counter blocks that
@@ -20,12 +41,16 @@
  *   exact and commutative, so the merged counters are bit-identical to a
  *   single-threaded run for any thread count and any key partition.
  *
- * Everything is bit-exact with repro.rc4.reference; the Python side
+ * Every tier processes whole keys independently, so any dispatch choice
+ * (SIMD groups of 32 with an interleaved/scalar remainder, or no SIMD at
+ * all) yields bit-identical keystreams and counters.  The Python side
  * cross-checks this in tests/test_dataset_equivalence.py across thread
- * counts and across the interleaved vs scalar kernels.
+ * counts, the interleaved vs scalar kernels, and the SIMD tier.
  *
  * Build contract (see _native.py): plain C99, no dependencies beyond
- * libc + pthreads, compiled with `cc -O3 -shared -fPIC -pthread`.
+ * libc + pthreads, compiled with `cc -O3 -shared -fPIC -pthread`.  The
+ * AVX2 tier uses GCC/Clang target attributes, available since GCC 4.9;
+ * other compilers or architectures fall back to the portable kernels.
  */
 
 #include <pthread.h>
@@ -34,10 +59,22 @@
 #include <stdlib.h>
 #include <string.h>
 
+#if defined(__GNUC__) && defined(__x86_64__) && !defined(RC4_NO_SIMD)
+#define RC4_HAVE_SIMD 1
+#include <immintrin.h>
+#else
+#define RC4_HAVE_SIMD 0
+#endif
+
 /* Independent RC4 states advanced per interleaved loop iteration.  4 x
  * 256 B of state stays L1-resident while giving the out-of-order core
  * four independent swap chains to overlap. */
 #define RC4_IL 4
+
+/* Independent RC4 states per SIMD group (one AVX2 register of lanes).
+ * 32 x 256 B of transposed state is 8 KiB — still L1-resident next to
+ * the per-group scratch. */
+#define RC4_WIDE 32
 
 static void rc4_init(uint8_t *S, const uint8_t *key, ptrdiff_t keylen)
 {
@@ -296,6 +333,299 @@ static void longterm_interleaved(const uint8_t *keys, ptrdiff_t n,
                     out);
 }
 
+/* ---- AVX2 wide kernels (runtime-dispatched) ------------------------------ */
+
+/* Is the SIMD tier usable on this machine?  Compile-time support AND a
+ * runtime CPU check — callers (Python and run_job below) treat a zero as
+ * "fall through to the interleaved/scalar tier". */
+int rc4_simd_available(void)
+{
+#if RC4_HAVE_SIMD
+    return __builtin_cpu_supports("avx2") ? 1 : 0;
+#else
+    return 0;
+#endif
+}
+
+/* States per SIMD group, 0 when the tier is compiled out.  The Python
+ * side uses this for scratch accounting (resolve_threads lane_bytes). */
+int rc4_simd_lanes(void)
+{
+#if RC4_HAVE_SIMD
+    return RC4_WIDE;
+#else
+    return 0;
+#endif
+}
+
+#if RC4_HAVE_SIMD
+
+/* Transposed working set for one SIMD group: ST[v * RC4_WIDE + k] is
+ * S_k[v] (byte v of lane k's permutation), so the row for the shared
+ * public counter i is contiguous and 32-byte aligned.  zb hands the
+ * round's output bytes to the scalar consumers (row writes / counter
+ * increments).  The 4-byte tail pad keeps the dword gathers below
+ * in-bounds when they touch the last state byte of the last lane. */
+typedef struct {
+    uint8_t zb[RC4_WIDE];
+    uint8_t ST[256 * RC4_WIDE];
+    uint8_t pad[4];
+} __attribute__((aligned(32))) rc4_wide;
+
+/* Gather one byte per lane from the transposed state: 4x vpgatherdd over
+ * dword indices j*RC4_WIDE + lane (built straight from the packed j
+ * bytes in `jq`, an array of 4 qwords = 32 lanes), masked to the low
+ * byte.  Each lane keeps only the byte of its own column, so the 3
+ * bytes over-read per element (covered by rc4_wide.pad at the very end)
+ * never leak across lanes.  Measured against 32 scalar byte loads
+ * staged through a store-forwarded buffer this is the faster S-box read
+ * on the AVX2 cores this targets.  acc[q] receives 8 dwords, each the
+ * gathered byte for lane 8q+0..8q+7. */
+#define WIDE_GATHER(V, jq, acc)                                              \
+    do {                                                                     \
+        const __m256i lanes_ = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);    \
+        const __m256i mask_ = _mm256_set1_epi32(0xFF);                       \
+        int q_;                                                              \
+        for (q_ = 0; q_ < 4; q_++) {                                         \
+            __m256i idx_ = _mm256_cvtepu8_epi32(                             \
+                _mm_cvtsi64_si128((long long)(jq)[q_]));                     \
+            idx_ = _mm256_add_epi32(                                         \
+                _mm256_slli_epi32(idx_, 5),                                  \
+                _mm256_add_epi32(lanes_, _mm256_set1_epi32(8 * q_)));        \
+            (acc)[q_] = _mm256_and_si256(                                    \
+                _mm256_i32gather_epi32((const int *)(V)->ST, idx_, 1),       \
+                mask_);                                                      \
+        }                                                                    \
+    } while (0)
+
+/* Repack 4x8 gathered dwords into one 32-byte vector (lane order).  The
+ * packus pair interleaves the 128-bit halves, which the final
+ * permutevar8x32 undoes. */
+#define WIDE_PACK(acc)                                                       \
+    _mm256_permutevar8x32_epi32(                                             \
+        _mm256_packus_epi16(_mm256_packus_epi32((acc)[0], (acc)[1]),         \
+                            _mm256_packus_epi32((acc)[2], (acc)[3])),        \
+        _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7))
+
+/* Unpack a j/t byte vector into 4 qwords for scalar address arithmetic.
+ * Register extracts, not a staged store: 32 dependent byte reloads of a
+ * just-stored vector stall on store-forwarding. */
+#define WIDE_QWORDS(v, q)                                                    \
+    do {                                                                     \
+        __m128i lo_ = _mm256_castsi256_si128(v);                             \
+        __m128i hi_ = _mm256_extracti128_si256(v, 1);                        \
+        (q)[0] = (uint64_t)_mm_cvtsi128_si64(lo_);                           \
+        (q)[1] = (uint64_t)_mm_cvtsi128_si64(_mm_srli_si128(lo_, 8));        \
+        (q)[2] = (uint64_t)_mm_cvtsi128_si64(hi_);                           \
+        (q)[3] = (uint64_t)_mm_cvtsi128_si64(_mm_srli_si128(hi_, 8));        \
+    } while (0)
+
+/* The swap for one round, after vj has been fully updated: gather the
+ * old S[j] bytes (pre-scatter), scatter old S[i] into row j with scalar
+ * byte stores (AVX2 has no byte scatter), then store the gathered bytes
+ * as the new row S[i] in one vector store.  Lane k only ever touches
+ * column k, so the scalar scatter and the row store cannot interfere
+ * across lanes (and a j == i lane rewrites its byte with the same
+ * value).  vsj_out receives the packed old-S[j] vector. */
+#define WIDE_SWAP(V, i, vj, vsj_out)                                         \
+    do {                                                                     \
+        __m256i acc_[4];                                                     \
+        uint64_t jq_[4];                                                     \
+        int k_, b_;                                                          \
+        WIDE_QWORDS(vj, jq_);                                                \
+        WIDE_GATHER(V, jq_, acc_);                                           \
+        for (k_ = 0; k_ < 4; k_++) {                                         \
+            uint64_t q_ = jq_[k_];                                           \
+            for (b_ = 0; b_ < 8; b_++) {                                     \
+                int lane_ = k_ * 8 + b_;                                     \
+                (V)->ST[(size_t)((q_ >> (8 * b_)) & 0xFF) * RC4_WIDE         \
+                        + (size_t)lane_] =                                   \
+                    (V)->ST[(size_t)(i) * RC4_WIDE + (size_t)lane_];         \
+            }                                                                \
+        }                                                                    \
+        (vsj_out) = WIDE_PACK(acc_);                                         \
+        _mm256_store_si256(                                                  \
+            (__m256i *)((V)->ST + (size_t)(i) * RC4_WIDE), (vsj_out));       \
+    } while (0)
+
+/* One PRGA round for all RC4_WIDE lanes.  i is the shared public counter
+ * (already advanced), vj the per-lane j vector (updated in place: one
+ * vpaddb against the contiguous row S[i]).  When emit is nonzero the
+ * output bytes S[S[i] + S[j]] (gathered post-swap) land in V->zb. */
+#define WIDE_STEP(V, i, vj, emit)                                            \
+    do {                                                                     \
+        __m256i vsi_ = _mm256_load_si256(                                    \
+            (const __m256i *)((V)->ST + (size_t)(i) * RC4_WIDE));            \
+        __m256i vsj_;                                                        \
+        (vj) = _mm256_add_epi8((vj), vsi_);                                  \
+        WIDE_SWAP(V, i, vj, vsj_);                                           \
+        if (emit) {                                                          \
+            __m256i vt_ = _mm256_add_epi8(vsi_, vsj_);                       \
+            __m256i zacc_[4];                                                \
+            uint64_t tq_[4];                                                 \
+            int q_;                                                          \
+            WIDE_QWORDS(vt_, tq_);                                           \
+            WIDE_GATHER(V, tq_, zacc_);                                      \
+            for (q_ = 0; q_ < 4; q_++) {                                     \
+                uint32_t lo32_ = (uint32_t)_mm256_extract_epi32(             \
+                    _mm256_shuffle_epi8(                                     \
+                        zacc_[q_],                                           \
+                        _mm256_setr_epi8(0, 4, 8, 12, -1, -1, -1, -1, -1,    \
+                                         -1, -1, -1, -1, -1, -1, -1, 0, 4,   \
+                                         8, 12, -1, -1, -1, -1, -1, -1, -1,  \
+                                         -1, -1, -1, -1, -1)),               \
+                    0);                                                      \
+                uint32_t hi32_ = (uint32_t)_mm256_extract_epi32(             \
+                    _mm256_shuffle_epi8(                                     \
+                        zacc_[q_],                                           \
+                        _mm256_setr_epi8(0, 4, 8, 12, -1, -1, -1, -1, -1,    \
+                                         -1, -1, -1, -1, -1, -1, -1, 0, 4,   \
+                                         8, 12, -1, -1, -1, -1, -1, -1, -1,  \
+                                         -1, -1, -1, -1, -1)),               \
+                    4);                                                      \
+                memcpy((V)->zb + 8 * q_, &lo32_, 4);                         \
+                memcpy((V)->zb + 8 * q_ + 4, &hi32_, 4);                     \
+            }                                                                \
+        }                                                                    \
+    } while (0)
+
+/* KSA for all lanes: key bytes are transposed once into KT so the
+ * per-round key addend is one aligned vector load; the swap is the same
+ * gather/scatter/row-store as the PRGA rounds. */
+__attribute__((target("avx2")))
+static void wide_ksa(rc4_wide *V, const uint8_t *keys, ptrdiff_t keylen)
+{
+    uint8_t KT[256 * RC4_WIDE] __attribute__((aligned(32)));
+    __m256i vj;
+    int i, k;
+    for (i = 0; i < (int)keylen; i++)
+        for (k = 0; k < RC4_WIDE; k++)
+            KT[(size_t)i * RC4_WIDE + k] = keys[(size_t)k * keylen + i];
+    for (i = 0; i < 256; i++)
+        _mm256_store_si256((__m256i *)(V->ST + (size_t)i * RC4_WIDE),
+                           _mm256_set1_epi8((char)i));
+    vj = _mm256_setzero_si256();
+    for (i = 0; i < 256; i++) {
+        __m256i vsi = _mm256_load_si256(
+            (const __m256i *)(V->ST + (size_t)i * RC4_WIDE));
+        __m256i vsj;
+        vj = _mm256_add_epi8(vj, vsi);
+        vj = _mm256_add_epi8(
+            vj, _mm256_load_si256(
+                    (const __m256i *)(KT + (size_t)(i % keylen) * RC4_WIDE)));
+        WIDE_SWAP(V, i, vj, vsj);
+        (void)vsj;
+    }
+}
+
+/* Keystream for one full SIMD group; lane k writes out[k*length + r]. */
+__attribute__((target("avx2")))
+static void keystream_wide(const uint8_t *keys, ptrdiff_t keylen, long drop,
+                           long length, uint8_t *out)
+{
+    rc4_wide V;
+    __m256i vj = _mm256_setzero_si256();
+    unsigned i = 0;
+    long r;
+    int k;
+    wide_ksa(&V, keys, keylen);
+    for (r = 0; r < drop; r++) {
+        i = (i + 1) & 0xFF;
+        WIDE_STEP(&V, i, vj, 0);
+    }
+    for (r = 0; r < length; r++) {
+        i = (i + 1) & 0xFF;
+        WIDE_STEP(&V, i, vj, 1);
+        for (k = 0; k < RC4_WIDE; k++)
+            out[(ptrdiff_t)k * length + r] = V.zb[k];
+    }
+}
+
+__attribute__((target("avx2")))
+static void single_wide(const uint8_t *keys, ptrdiff_t keylen, long positions,
+                        int64_t *out)
+{
+    rc4_wide V;
+    __m256i vj = _mm256_setzero_si256();
+    unsigned i = 0;
+    long r;
+    int k;
+    wide_ksa(&V, keys, keylen);
+    for (r = 0; r < positions; r++) {
+        int64_t *row = out + r * 256;
+        i = (i + 1) & 0xFF;
+        WIDE_STEP(&V, i, vj, 1);
+        for (k = 0; k < RC4_WIDE; k++)
+            row[V.zb[k]] += 1;
+    }
+}
+
+__attribute__((target("avx2")))
+static void digraph_wide(const uint8_t *keys, ptrdiff_t keylen,
+                         long positions, int64_t *out)
+{
+    rc4_wide V;
+    uint8_t prev[RC4_WIDE];
+    __m256i vj = _mm256_setzero_si256();
+    unsigned i = 0;
+    long r;
+    int k;
+    wide_ksa(&V, keys, keylen);
+    i = (i + 1) & 0xFF;
+    WIDE_STEP(&V, i, vj, 1);
+    memcpy(prev, V.zb, RC4_WIDE);
+    for (r = 0; r < positions; r++) {
+        int64_t *row = out + r * 65536;
+        i = (i + 1) & 0xFF;
+        WIDE_STEP(&V, i, vj, 1);
+        for (k = 0; k < RC4_WIDE; k++) {
+            row[(ptrdiff_t)prev[k] * 256 + V.zb[k]] += 1;
+            prev[k] = V.zb[k];
+        }
+    }
+}
+
+/* Long-term digraphs, same binning as longterm_scalar; the rolling
+ * window is transposed (slot-major) so each slot's lane row is a plain
+ * memcpy against V.zb. */
+__attribute__((target("avx2")))
+static void longterm_wide(const uint8_t *keys, ptrdiff_t keylen,
+                          long stream_len, long drop, long gap, int64_t *out)
+{
+    long width = gap + 1;
+    rc4_wide V;
+    uint8_t WT[256 * RC4_WIDE]; /* gap validated <= 255 on the Python side */
+    __m256i vj = _mm256_setzero_si256();
+    unsigned i = 0;
+    uint8_t bin = (uint8_t)(drop & 0xFF);
+    long r;
+    int k;
+    wide_ksa(&V, keys, keylen);
+    for (r = 0; r < drop; r++) {
+        i = (i + 1) & 0xFF;
+        WIDE_STEP(&V, i, vj, 0);
+    }
+    for (r = 0; r < width; r++) {
+        i = (i + 1) & 0xFF;
+        WIDE_STEP(&V, i, vj, 1);
+        memcpy(WT + (size_t)r * RC4_WIDE, V.zb, RC4_WIDE);
+    }
+    for (r = 0; r < stream_len; r++) {
+        uint8_t *slot = WT + (size_t)(r % width) * RC4_WIDE;
+        int64_t *row;
+        i = (i + 1) & 0xFF;
+        WIDE_STEP(&V, i, vj, 1);
+        bin = (uint8_t)(bin + 1); /* (drop + r + 1) mod 256 */
+        row = out + (ptrdiff_t)bin * 65536;
+        for (k = 0; k < RC4_WIDE; k++) {
+            row[(ptrdiff_t)slot[k] * 256 + V.zb[k]] += 1;
+            slot[k] = V.zb[k];
+        }
+    }
+}
+
+#endif /* RC4_HAVE_SIMD */
+
 /* ---- thread fan-out ----------------------------------------------------- */
 
 enum job_kind { JOB_KEYSTREAM, JOB_SINGLE, JOB_DIGRAPH, JOB_LONGTERM };
@@ -303,6 +633,7 @@ enum job_kind { JOB_KEYSTREAM, JOB_SINGLE, JOB_DIGRAPH, JOB_LONGTERM };
 typedef struct {
     enum job_kind kind;
     int interleave;
+    int simd;            /* request the AVX2 tier (still runtime-gated) */
     const uint8_t *keys; /* this range's first key */
     ptrdiff_t n;         /* keys in this range */
     ptrdiff_t keylen;
@@ -313,7 +644,8 @@ typedef struct {
     int64_t *out_i64;  /* private counter block for this range */
 } rc4_job;
 
-static void run_job(const rc4_job *job)
+/* The portable (interleaved / scalar) tier for one key range. */
+static void run_job_narrow(const rc4_job *job)
 {
     switch (job->kind) {
     case JOB_KEYSTREAM:
@@ -348,6 +680,48 @@ static void run_job(const rc4_job *job)
             longterm_scalar(job->keys, job->n, job->keylen, job->length,
                             job->drop, job->gap, job->out_i64);
         break;
+    }
+}
+
+/* Dispatch one key range across the tiers: full groups of RC4_WIDE keys
+ * through the AVX2 kernels when requested AND supported by this CPU,
+ * the remainder (or everything otherwise) through the portable tier.
+ * Keys are independent, so the split is invisible in the results. */
+static void run_job(const rc4_job *job)
+{
+    ptrdiff_t done = 0;
+#if RC4_HAVE_SIMD
+    if (job->simd && rc4_simd_available()) {
+        ptrdiff_t g;
+        for (g = 0; g + RC4_WIDE <= job->n; g += RC4_WIDE) {
+            const uint8_t *keys = job->keys + g * job->keylen;
+            switch (job->kind) {
+            case JOB_KEYSTREAM:
+                keystream_wide(keys, job->keylen, job->drop, job->length,
+                               job->out_u8 + g * job->length);
+                break;
+            case JOB_SINGLE:
+                single_wide(keys, job->keylen, job->length, job->out_i64);
+                break;
+            case JOB_DIGRAPH:
+                digraph_wide(keys, job->keylen, job->length, job->out_i64);
+                break;
+            case JOB_LONGTERM:
+                longterm_wide(keys, job->keylen, job->length, job->drop,
+                              job->gap, job->out_i64);
+                break;
+            }
+        }
+        done = g;
+    }
+#endif
+    if (done < job->n) {
+        rc4_job rest = *job;
+        rest.keys = job->keys + done * job->keylen;
+        rest.n = job->n - done;
+        if (job->kind == JOB_KEYSTREAM)
+            rest.out_u8 = job->out_u8 + done * job->length;
+        run_job_narrow(&rest);
     }
 }
 
@@ -441,9 +815,9 @@ static void run_threaded(const rc4_job *template, int threads,
  * `drop` initial bytes. */
 void rc4_batch_keystream(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
                          long drop, long length, uint8_t *out, int threads,
-                         int interleave)
+                         int interleave, int simd)
 {
-    rc4_job job = {JOB_KEYSTREAM, interleave, keys, n,    keylen,
+    rc4_job job = {JOB_KEYSTREAM, interleave, simd, keys, n,    keylen,
                    length,        drop,       0,    out,  NULL};
     run_threaded(&job, threads, 0);
 }
@@ -451,9 +825,9 @@ void rc4_batch_keystream(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
 /* Single-byte counts: out[r*256 + Z_{r+1}] += 1 for r = 0..positions-1. */
 void rc4_count_single(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
                       long positions, int64_t *out, int threads,
-                      int interleave)
+                      int interleave, int simd)
 {
-    rc4_job job = {JOB_SINGLE, interleave, keys, n,    keylen,
+    rc4_job job = {JOB_SINGLE, interleave, simd, keys, n,    keylen,
                    positions,  0,          0,    NULL, out};
     run_threaded(&job, threads, (ptrdiff_t)positions * 256);
 }
@@ -462,9 +836,9 @@ void rc4_count_single(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
  * r = 0..positions-1 (needs positions+1 keystream bytes per key). */
 void rc4_count_digraph(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
                        long positions, int64_t *out, int threads,
-                       int interleave)
+                       int interleave, int simd)
 {
-    rc4_job job = {JOB_DIGRAPH, interleave, keys, n,    keylen,
+    rc4_job job = {JOB_DIGRAPH, interleave, simd, keys, n,    keylen,
                    positions,   0,          0,    NULL, out};
     run_threaded(&job, threads, (ptrdiff_t)positions * 65536);
 }
@@ -472,9 +846,9 @@ void rc4_count_digraph(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
 /* Long-term digraphs (see longterm_scalar above for the binning). */
 void rc4_count_longterm(const uint8_t *keys, ptrdiff_t n, ptrdiff_t keylen,
                         long stream_len, long drop, long gap, int64_t *out,
-                        int threads, int interleave)
+                        int threads, int interleave, int simd)
 {
-    rc4_job job = {JOB_LONGTERM, interleave, keys, n,    keylen,
+    rc4_job job = {JOB_LONGTERM, interleave, simd, keys, n,    keylen,
                    stream_len,   drop,       gap,  NULL, out};
     run_threaded(&job, threads, (ptrdiff_t)256 * 65536);
 }

@@ -4,9 +4,11 @@
 256-byte state in L1 plus fused generate-and-count kernels.  This module
 compiles it on demand with the system C compiler (``gcc``/``cc``), caches
 the shared object under ``~/.cache/repro-rc4/`` keyed by a hash of the
-source, and exposes thin ctypes wrappers.
+source *plus* the compiler identity and flags (so pinning a different
+``REPRO_NATIVE_CC`` or changing CFLAGS can never load a stale artefact),
+and exposes thin ctypes wrappers.
 
-Two performance knobs ride on every kernel:
+Three performance knobs ride on every kernel:
 
 - ``threads`` (default ``os.cpu_count()``, overridable per call or via
   ``REPRO_NATIVE_THREADS``): the C side splits keys into contiguous
@@ -16,6 +18,12 @@ Two performance knobs ride on every kernel:
 - ``interleave`` (default on, ``REPRO_NATIVE_INTERLEAVE=0`` to disable):
   selects the interleaved kernels that advance several independent RC4
   states per loop iteration to hide the serial swap-latency chain.
+- ``simd`` (default on, ``REPRO_NATIVE_SIMD=0`` to disable): selects the
+  AVX2 wide kernels that advance 32 states per loop in a transposed
+  lane-major layout.  The C side re-checks CPU support at runtime
+  (``__builtin_cpu_supports("avx2")``), so enabling the knob on non-AVX2
+  hardware silently degrades to the interleaved/scalar tiers; every tier
+  is bit-exact with every other.
 
 The backend is strictly optional: if no compiler is present, compilation
 fails, or ``REPRO_NATIVE=0`` is set, :func:`available` returns False and
@@ -49,6 +57,7 @@ from ..config import (
     env_native_cc,
     env_native_enabled,
     env_native_interleave,
+    env_native_simd,
     env_native_threads,
 )
 from ..fleet.retry import retry_call
@@ -69,6 +78,19 @@ _CC_RETRY_BACKOFF = 2.0
 #: threads for 128 MiB longterm counters, 16 for 256 MiB consec512).
 _THREAD_SCRATCH_BUDGET = 4 << 30
 
+#: Per-thread working set of the AVX2 wide kernels (transposed state,
+#: key transpose, digraph window and staging — see rc4_wide/wide_ksa in
+#: _native.c).  Charged against the scratch budget alongside the private
+#: counter blocks so the wide tier can never push aggregate scratch past
+#: the cap that the narrow tiers were sized for.
+_SIMD_LANE_SCRATCH = 32 << 10
+
+#: Flags handed to every compiler candidate; part of the cache key.  The
+#: AVX2 tier needs no -mavx2 here — the wide kernels carry their own
+#: __attribute__((target("avx2"))) so the artefact stays loadable on any
+#: x86-64 machine.
+_CFLAGS = ("-O3", "-shared", "-fPIC", "-pthread")
+
 _lib: ctypes.CDLL | None = None
 _load_attempted = False
 _load_error: str | None = None
@@ -88,31 +110,63 @@ def _compilers() -> tuple[str, ...]:
     return ("cc", "gcc", "clang")
 
 
+def _compiler_id(compiler: str) -> str | None:
+    """Identity string for the cache key: name plus ``--version`` line.
+
+    Returns None when the compiler cannot be executed at all, so
+    :func:`_compile` can skip it without burning a probe-order slot on a
+    doomed compile attempt.  The version line (not just the name) is part
+    of the identity: ``cc`` may resolve to a different toolchain after a
+    system upgrade, and an artefact built by the old one must not be
+    reused silently.
+    """
+    try:
+        proc = subprocess.run(
+            [compiler, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=_CC_TIMEOUT,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    first = (proc.stdout or proc.stderr).strip().splitlines() or [""]
+    return f"{compiler} {first[0]}"
+
+
+def _cache_key(source: bytes, compiler_id: str) -> str:
+    """Cache digest over source, compiler identity, and CFLAGS.
+
+    Keying on the source hash alone (the historical scheme) silently
+    loads a stale artefact when ``REPRO_NATIVE_CC`` pins a different
+    compiler or the build flags change; all three inputs are folded in.
+    """
+    blob = b"\0".join(
+        [source, compiler_id.encode(), " ".join(_CFLAGS).encode()]
+    )
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
 def _compile() -> Path:
-    """Compile ``_native.c`` into the cache, reusing a hash-matched build."""
+    """Compile ``_native.c`` into the cache, reusing a key-matched build."""
     source = _SOURCE.read_bytes()
-    digest = hashlib.sha256(source).hexdigest()[:16]
     cache = _cache_dir()
-    target = cache / f"librc4stats-{digest}.so"
-    if target.exists():
-        return target
-    cache.mkdir(parents=True, exist_ok=True)
     last_error = "no C compiler found"
     for compiler in _compilers():
+        compiler_id = _compiler_id(compiler)
+        if compiler_id is None:
+            last_error = f"{compiler}: not executable"
+            continue
+        target = cache / f"librc4stats-{_cache_key(source, compiler_id)}.so"
+        if target.exists():
+            return target
+        cache.mkdir(parents=True, exist_ok=True)
         with tempfile.NamedTemporaryFile(
             dir=cache, suffix=".so.tmp", delete=False
         ) as tmp:
             tmp_path = Path(tmp.name)
-        cmd = [
-            compiler,
-            "-O3",
-            "-shared",
-            "-fPIC",
-            "-pthread",
-            str(_SOURCE),
-            "-o",
-            str(tmp_path),
-        ]
+        cmd = [compiler, *_CFLAGS, str(_SOURCE), "-o", str(tmp_path)]
         try:
             # A wedged compiler (hung license check, dead NFS) gets one
             # bounded retry with backoff instead of hanging the process;
@@ -153,21 +207,26 @@ def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
     cint = ctypes.c_int
     lib.rc4_batch_keystream.argtypes = [
         u8p, ssize, ssize, ctypes.c_long, ctypes.c_long, u8p, cint, cint,
+        cint,
     ]
     lib.rc4_batch_keystream.restype = None
     lib.rc4_count_single.argtypes = [
-        u8p, ssize, ssize, ctypes.c_long, i64p, cint, cint,
+        u8p, ssize, ssize, ctypes.c_long, i64p, cint, cint, cint,
     ]
     lib.rc4_count_single.restype = None
     lib.rc4_count_digraph.argtypes = [
-        u8p, ssize, ssize, ctypes.c_long, i64p, cint, cint,
+        u8p, ssize, ssize, ctypes.c_long, i64p, cint, cint, cint,
     ]
     lib.rc4_count_digraph.restype = None
     lib.rc4_count_longterm.argtypes = [
         u8p, ssize, ssize, ctypes.c_long, ctypes.c_long, ctypes.c_long,
-        i64p, cint, cint,
+        i64p, cint, cint, cint,
     ]
     lib.rc4_count_longterm.restype = None
+    lib.rc4_simd_available.argtypes = []
+    lib.rc4_simd_available.restype = cint
+    lib.rc4_simd_lanes.argtypes = []
+    lib.rc4_simd_lanes.restype = cint
     return lib
 
 
@@ -209,20 +268,53 @@ def status() -> str:
             threads = str(resolve_threads(None))
         except ValueError as exc:  # malformed REPRO_NATIVE_THREADS
             threads = f"invalid ({exc})"
+        if not _simd(None):
+            simd = "off"
+        elif simd_available():
+            simd = f"avx2 x{simd_lanes()}"
+        else:
+            simd = "unsupported"
         return (
             f"native backend loaded (threads={threads}, "
-            f"interleave={'on' if _interleave(None) else 'off'})"
+            f"interleave={'on' if _interleave(None) else 'off'}, "
+            f"simd={simd})"
         )
     return f"native backend unavailable: {_load_error}"
 
 
-def resolve_threads(threads: int | None, counter_bytes: int = 0) -> int:
+def simd_available() -> bool:
+    """True when the loaded backend can run the AVX2 wide kernels.
+
+    False when the backend is unavailable, was compiled without the SIMD
+    tier (non-GCC/Clang or non-x86-64), or the CPU lacks AVX2 — the
+    runtime check is the C side's ``__builtin_cpu_supports("avx2")``.
+    This reports hardware/build capability only; the ``REPRO_NATIVE_SIMD``
+    knob is resolved separately per call.
+    """
+    lib = _load()
+    return lib is not None and bool(lib.rc4_simd_available())
+
+
+def simd_lanes() -> int:
+    """RC4 states per SIMD group (0 when the wide tier is compiled out)."""
+    lib = _load()
+    return int(lib.rc4_simd_lanes()) if lib is not None else 0
+
+
+def resolve_threads(
+    threads: int | None, counter_bytes: int = 0, lane_bytes: int = 0
+) -> int:
     """Effective thread count for a kernel call.
 
     ``None`` means "the configured default": ``REPRO_NATIVE_THREADS`` if
     set, else ``os.cpu_count()``.  The result is clamped to at least 1
-    and, for counting kernels, so that ``threads * counter_bytes`` of
-    private scratch stays within the 1 GiB budget.
+    and, for counting kernels, so that
+    ``threads * (counter_bytes + lane_bytes)`` of private scratch stays
+    within the 4 GiB ``_THREAD_SCRATCH_BUDGET``.  ``counter_bytes`` is
+    the per-thread private counter block; ``lane_bytes`` the per-thread
+    SIMD working set (pass :data:`_SIMD_LANE_SCRATCH` when the wide tier
+    may run) so wide kernels can't blow the cap the narrow tiers were
+    sized for.
     """
     if threads is None:
         # env_native_threads raises ConfigError (a ValueError) when the
@@ -231,8 +323,9 @@ def resolve_threads(threads: int | None, counter_bytes: int = 0) -> int:
         if threads is None:
             threads = os.cpu_count() or 1
     threads = max(1, int(threads))
-    if counter_bytes > 0:
-        threads = min(threads, max(1, _THREAD_SCRATCH_BUDGET // counter_bytes))
+    scratch = counter_bytes + lane_bytes
+    if scratch > 0:
+        threads = min(threads, max(1, _THREAD_SCRATCH_BUDGET // scratch))
     return threads
 
 
@@ -241,6 +334,13 @@ def _interleave(interleave: bool | None) -> int:
     if interleave is None:
         return 1 if env_native_interleave() else 0
     return 1 if interleave else 0
+
+
+def _simd(simd: bool | None) -> int:
+    """Resolve the SIMD knob (per-call override beats the env)."""
+    if simd is None:
+        return 1 if env_native_simd() else 0
+    return 1 if simd else 0
 
 
 def _check_keys(keys: np.ndarray) -> np.ndarray:
@@ -265,6 +365,7 @@ def batch_keystream(
     drop: int = 0,
     threads: int | None = None,
     interleave: bool | None = None,
+    simd: bool | None = None,
 ) -> np.ndarray:
     """Compiled equivalent of :func:`repro.rc4.batch.batch_keystream`."""
     keys = _check_keys(keys)
@@ -272,9 +373,13 @@ def batch_keystream(
     out = np.empty((n, length), dtype=np.uint8)
     lib = _load()
     assert lib is not None, "call available() first"
+    use_simd = _simd(simd)
     lib.rc4_batch_keystream(
         _u8p(keys), n, keys.shape[1], drop, length, _u8p(out),
-        resolve_threads(threads), _interleave(interleave),
+        resolve_threads(
+            threads, lane_bytes=_SIMD_LANE_SCRATCH if use_simd else 0
+        ),
+        _interleave(interleave), use_simd,
     )
     return out
 
@@ -286,15 +391,21 @@ def count_single(
     *,
     threads: int | None = None,
     interleave: bool | None = None,
+    simd: bool | None = None,
 ) -> None:
     """Accumulate single-byte counts into ``out`` (positions, 256) int64."""
     keys = _check_keys(keys)
     lib = _load()
     assert lib is not None, "call available() first"
     assert out.dtype == np.int64 and out.flags.c_contiguous
+    use_simd = _simd(simd)
     lib.rc4_count_single(
         _u8p(keys), keys.shape[0], keys.shape[1], positions, _i64p(out),
-        resolve_threads(threads, out.nbytes), _interleave(interleave),
+        resolve_threads(
+            threads, out.nbytes,
+            lane_bytes=_SIMD_LANE_SCRATCH if use_simd else 0,
+        ),
+        _interleave(interleave), use_simd,
     )
 
 
@@ -305,15 +416,21 @@ def count_digraph(
     *,
     threads: int | None = None,
     interleave: bool | None = None,
+    simd: bool | None = None,
 ) -> None:
     """Accumulate consecutive-digraph counts into (positions, 256, 256)."""
     keys = _check_keys(keys)
     lib = _load()
     assert lib is not None, "call available() first"
     assert out.dtype == np.int64 and out.flags.c_contiguous
+    use_simd = _simd(simd)
     lib.rc4_count_digraph(
         _u8p(keys), keys.shape[0], keys.shape[1], positions, _i64p(out),
-        resolve_threads(threads, out.nbytes), _interleave(interleave),
+        resolve_threads(
+            threads, out.nbytes,
+            lane_bytes=_SIMD_LANE_SCRATCH if use_simd else 0,
+        ),
+        _interleave(interleave), use_simd,
     )
 
 
@@ -326,6 +443,7 @@ def count_longterm(
     *,
     threads: int | None = None,
     interleave: bool | None = None,
+    simd: bool | None = None,
 ) -> None:
     """Accumulate counter-binned long-term digraphs into (256, 256, 256)."""
     if not 0 <= gap <= 255:
@@ -334,8 +452,13 @@ def count_longterm(
     lib = _load()
     assert lib is not None, "call available() first"
     assert out.dtype == np.int64 and out.flags.c_contiguous
+    use_simd = _simd(simd)
     lib.rc4_count_longterm(
         _u8p(keys), keys.shape[0], keys.shape[1], stream_len, drop, gap,
         _i64p(out),
-        resolve_threads(threads, out.nbytes), _interleave(interleave),
+        resolve_threads(
+            threads, out.nbytes,
+            lane_bytes=_SIMD_LANE_SCRATCH if use_simd else 0,
+        ),
+        _interleave(interleave), use_simd,
     )

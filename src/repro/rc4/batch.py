@@ -305,6 +305,7 @@ def batch_keystream(
     drop: int = 0,
     chunk: int = DEFAULT_CHUNK,
     threads: int | None = None,
+    simd: bool | None = None,
 ) -> np.ndarray:
     """Generate ``length`` keystream bytes for each key row in ``keys``.
 
@@ -320,6 +321,9 @@ def batch_keystream(
         threads: native-path thread count; ``None`` uses the configured
             default (``REPRO_NATIVE_THREADS`` or ``os.cpu_count()``).
             The numpy fallback is single-threaded and ignores it.
+        simd: allow the native AVX2 wide kernels; ``None`` uses the
+            configured default (``REPRO_NATIVE_SIMD``, on).  Bit-exact
+            either way; the numpy fallback ignores it.
     """
     keys = np.asarray(keys, dtype=np.uint8)
     if keys.ndim != 2:
@@ -332,7 +336,9 @@ def batch_keystream(
     if drop < 0:
         raise ValueError(f"drop must be non-negative, got {drop}")
     if _native.available():
-        return _native.batch_keystream(keys, length, drop=drop, threads=threads)
+        return _native.batch_keystream(
+            keys, length, drop=drop, threads=threads, simd=simd
+        )
     if n <= chunk:
         batch = BatchRC4(keys)
         if drop:

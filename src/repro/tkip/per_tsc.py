@@ -115,7 +115,8 @@ def generate_per_tsc(
             take = min(chunk, remaining)
             keys = simplified_key_batch(tsc, take, rng)
             single_byte_counts(
-                keys, length, out=counts, threads=config.native_threads
+                keys, length, out=counts, threads=config.native_threads,
+                simd=config.native_simd,
             )
             remaining -= take
         dists[t] = counts_to_distribution(counts)

@@ -186,8 +186,8 @@ def test_scale_aware_defaults():
     spec = get_experiment("dataset-single")
     small = spec.resolve_params(ReproConfig(scale=0.25), {})
     large = spec.resolve_params(ReproConfig(scale=4.0), {})
-    assert small["num_keys"] == (1 << 16) // 4
-    assert large["num_keys"] == (1 << 16) * 4
+    assert small["num_keys"] == (1 << 17) // 4
+    assert large["num_keys"] == (1 << 17) * 4
 
 
 def test_param_rejects_unknown_kind():

@@ -11,6 +11,7 @@ must reproduce uninterrupted counters exactly, and the
 bit-identical JSON/NPZ round-trips) is pinned with hypothesis.
 """
 
+import dataclasses
 import json
 import tempfile
 from pathlib import Path
@@ -199,6 +200,73 @@ class TestTkipCaptureEquivalence:
     def test_rejects_positions_outside_plaintext(self, config):
         with pytest.raises(CaptureError):
             self._source(config, positions=range(1, 100))
+
+
+class TestCaptureForcedDispatchMatrix:
+    """Both capture sources under every forced dispatch combination
+    (``native_simd`` x ``REPRO_NATIVE_INTERLEAVE`` x thread count)
+    produce counters identical to the serial scalar leg — the capture
+    engine must be immune to how the keystream generator is dispatched.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _require_native(self):
+        if not _native.available():
+            pytest.skip("native backend unavailable (no C compiler?)")
+
+    @staticmethod
+    def _dispatch_config(config, *, simd, threads):
+        return dataclasses.replace(
+            config, native_simd=simd, native_threads=threads
+        )
+
+    @pytest.mark.parametrize("threads", [1, 2])
+    @pytest.mark.parametrize("interleave", ["0", "1"], ids=["il0", "il1"])
+    @pytest.mark.parametrize("simd", [False, True], ids=["simd0", "simd1"])
+    def test_https_dispatch_matrix(
+        self, config, https_sim, monkeypatch, threads, interleave, simd
+    ):
+        monkeypatch.setenv("REPRO_NATIVE_INTERLEAVE", "0")
+        baseline = run_capture(
+            _https_source(
+                https_sim, self._dispatch_config(config, simd=False, threads=1)
+            )
+        )
+        monkeypatch.setenv("REPRO_NATIVE_INTERLEAVE", interleave)
+        forced = run_capture(
+            _https_source(
+                https_sim,
+                self._dispatch_config(config, simd=simd, threads=threads),
+            )
+        )
+        _assert_cookie_stats_equal(forced, baseline)
+
+    @pytest.mark.parametrize("threads", [1, 2])
+    @pytest.mark.parametrize("interleave", ["0", "1"], ids=["il0", "il1"])
+    @pytest.mark.parametrize("simd", [False, True], ids=["simd0", "simd1"])
+    def test_tkip_dispatch_matrix(
+        self, config, monkeypatch, threads, interleave, simd
+    ):
+        def source(dispatch_config):
+            rng = np.random.default_rng(5)
+            return TkipCaptureSource(
+                config=dispatch_config,
+                plaintext=bytes(rng.integers(0, 256, 60, dtype=np.uint8)),
+                tsc_values=(5, 1000),
+                packets_per_tsc=150,
+                batch_size=64,
+                label="disp-tkip",
+            )
+
+        monkeypatch.setenv("REPRO_NATIVE_INTERLEAVE", "0")
+        baseline = run_capture(
+            source(self._dispatch_config(config, simd=False, threads=1))
+        )
+        monkeypatch.setenv("REPRO_NATIVE_INTERLEAVE", interleave)
+        forced = run_capture(
+            source(self._dispatch_config(config, simd=simd, threads=threads))
+        )
+        TestTkipCaptureEquivalence._assert_equal(forced, baseline)
 
 
 class _FailAfter:

@@ -52,6 +52,19 @@ def test_verify_job_runs_make_verify_in_both_native_modes(workflow):
     assert "make verify" in _run_lines(job)
 
 
+def test_verify_job_covers_simd_dispatch_leg(workflow):
+    """The verify matrix must run the compiled backend with the AVX2 tier
+    both enabled and disabled (REPRO_NATIVE_SIMD={0,1}), so the
+    interleaved/scalar tiers below the SIMD dispatch stay exercised even
+    on SIMD-capable runners.  The knob is meaningless on the numpy leg,
+    so that combination is excluded rather than run twice."""
+    job = workflow["jobs"]["verify"]
+    matrix = job["strategy"]["matrix"]
+    assert sorted(matrix["simd"]) == ["0", "1"]
+    assert {"native": "0", "simd": "0"} in matrix.get("exclude", [])
+    assert job["env"]["REPRO_NATIVE_SIMD"] == "${{ matrix.simd }}"
+
+
 def test_verify_job_caches_native_build_keyed_on_source_hash(workflow):
     job = workflow["jobs"]["verify"]
     cache_steps = [

@@ -1,15 +1,17 @@
 """Bit-exactness of the fused statistics engine.
 
-The engine has four layers that must all be byte-identical to the naive
+The engine has five layers that must all be byte-identical to the naive
 reference: the fused counting kernels (numpy grouped-bincount path), the
 optional compiled backend (``repro.rc4._native``) with its scalar and
-interleaved PRGA kernels, the POSIX-threaded native fan-out (private
+interleaved PRGA kernels, the runtime-dispatched AVX2 wide kernels
+(``REPRO_NATIVE_SIMD``), the POSIX-threaded native fan-out (private
 per-thread counters merged in C), and the shared-memory shard reduction
 in ``generate_dataset``.  Every test here counts the same keystreams
 with :func:`repro.rc4.reference.rc4_keystream` Python loops (or the
 single-threaded kernel output) and asserts cell-for-cell equality.
 """
 
+import dataclasses
 import os
 
 import numpy as np
@@ -237,41 +239,51 @@ class TestThreadedNativeEquivalence:
 
     @pytest.mark.parametrize("threads", THREAD_COUNTS)
     @pytest.mark.parametrize("interleave", [False, True], ids=["scalar", "il"])
-    def test_kernel_level_matrix(self, rng, threads, interleave):
-        """Direct kernel calls: every (threads, interleave) cell agrees
-        with the serial scalar baseline, including key counts that are
-        not multiples of the interleave width or thread count."""
+    @pytest.mark.parametrize("simd", [False, True], ids=["nosimd", "simd"])
+    def test_kernel_level_matrix(self, rng, threads, interleave, simd):
+        """Direct kernel calls: every (threads, interleave, simd) cell
+        agrees with the serial scalar baseline, including key counts that
+        are not multiples of the interleave width, the 32-lane SIMD group
+        width, or the thread count."""
         keys = rng.integers(0, 256, size=(103, 16), dtype=np.uint8)
 
         base = np.zeros((7, 256), dtype=np.int64)
-        _native.count_single(keys, 7, base, threads=1, interleave=False)
+        _native.count_single(
+            keys, 7, base, threads=1, interleave=False, simd=False
+        )
         got = np.zeros_like(base)
         _native.count_single(
-            keys, 7, got, threads=threads, interleave=interleave
+            keys, 7, got, threads=threads, interleave=interleave, simd=simd
         )
         assert np.array_equal(base, got)
 
         base = np.zeros((5, 256, 256), dtype=np.int64)
-        _native.count_digraph(keys, 5, base, threads=1, interleave=False)
+        _native.count_digraph(
+            keys, 5, base, threads=1, interleave=False, simd=False
+        )
         got = np.zeros_like(base)
         _native.count_digraph(
-            keys, 5, got, threads=threads, interleave=interleave
+            keys, 5, got, threads=threads, interleave=interleave, simd=simd
         )
         assert np.array_equal(base, got)
 
         base = np.zeros((256, 256, 256), dtype=np.int64)
-        _native.count_longterm(keys, 24, 100, 1, base, threads=1, interleave=False)
+        _native.count_longterm(
+            keys, 24, 100, 1, base, threads=1, interleave=False, simd=False
+        )
         got = np.zeros_like(base)
         _native.count_longterm(
-            keys, 24, 100, 1, got, threads=threads, interleave=interleave
+            keys, 24, 100, 1, got,
+            threads=threads, interleave=interleave, simd=simd,
         )
         assert np.array_equal(base, got)
 
         base = _native.batch_keystream(
-            keys, 40, drop=13, threads=1, interleave=False
+            keys, 40, drop=13, threads=1, interleave=False, simd=False
         )
         got = _native.batch_keystream(
-            keys, 40, drop=13, threads=threads, interleave=interleave
+            keys, 40, drop=13, threads=threads, interleave=interleave,
+            simd=simd,
         )
         assert np.array_equal(base, got)
 
@@ -282,6 +294,41 @@ class TestThreadedNativeEquivalence:
         monkeypatch.setenv("REPRO_NATIVE_THREADS", "2")
         env_default = single_byte_counts(keys, 4)
         assert np.array_equal(base, env_default)
+
+    @pytest.mark.parametrize("spec", ALL_KIND_SPECS, ids=ALL_KIND_IDS)
+    @pytest.mark.parametrize("threads", [1, 2])
+    @pytest.mark.parametrize("interleave", ["0", "1"], ids=["il0", "il1"])
+    @pytest.mark.parametrize("simd", [False, True], ids=["simd0", "simd1"])
+    def test_dataset_forced_dispatch_matrix(
+        self, config, monkeypatch, spec, threads, interleave, simd
+    ):
+        """Full datasets under every forced dispatch combination
+        (simd x interleave x threads) match the serial scalar baseline
+        cell-for-cell for all dataset kinds."""
+        monkeypatch.setenv("REPRO_NATIVE_INTERLEAVE", "0")
+        baseline_config = dataclasses.replace(config, native_simd=False)
+        reference = generate_dataset(
+            spec, baseline_config, processes=1, worker_chunk=128, threads=1
+        )
+        monkeypatch.setenv("REPRO_NATIVE_INTERLEAVE", interleave)
+        forced_config = dataclasses.replace(config, native_simd=simd)
+        forced = generate_dataset(
+            spec, forced_config, processes=1, worker_chunk=128,
+            threads=threads,
+        )
+        assert np.array_equal(reference, forced)
+
+    def test_simd_env_default_used_by_kernels(self, rng, monkeypatch):
+        """REPRO_NATIVE_SIMD steers the per-call default (simd=None)
+        without changing a single counter cell."""
+        keys = rng.integers(0, 256, size=(200, 16), dtype=np.uint8)
+        base = np.zeros((6, 256), dtype=np.int64)
+        _native.count_single(keys, 6, base, threads=1, simd=False)
+        for env_value in ("0", "1"):
+            monkeypatch.setenv("REPRO_NATIVE_SIMD", env_value)
+            got = np.zeros_like(base)
+            _native.count_single(keys, 6, got, threads=1)
+            assert np.array_equal(base, got), f"REPRO_NATIVE_SIMD={env_value}"
 
 
 class TestSharedMemoryReduction:

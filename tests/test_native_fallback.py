@@ -126,6 +126,90 @@ def test_resolve_threads_env_and_clamps(monkeypatch):
     assert _native.resolve_threads(64, counter_bytes=4 << 30) == 1
 
 
+def test_resolve_threads_clamp_at_budget_boundary(monkeypatch):
+    """Pin the clamp exactly at _THREAD_SCRATCH_BUDGET (4 GiB), including
+    the SIMD lane-width scratch the wide kernels add per thread."""
+    from repro.rc4 import _native
+
+    monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+    budget = _native._THREAD_SCRATCH_BUDGET
+    lane = _native._SIMD_LANE_SCRATCH
+    assert budget == 4 << 30  # the docstring's stated budget
+    assert lane > 0
+    # Exactly at the boundary every requested thread survives; one byte
+    # of extra per-thread scratch drops one.
+    assert _native.resolve_threads(8, counter_bytes=budget // 8) == 8
+    assert _native.resolve_threads(8, counter_bytes=budget // 8 + 1) == 7
+    # The SIMD working set is charged on top of the counter block, so a
+    # counter size that exactly fills the budget for 8 threads loses a
+    # thread once the wide kernels' scratch rides along — wide kernels
+    # can never push aggregate scratch past the cap.
+    assert (
+        _native.resolve_threads(8, counter_bytes=budget // 8, lane_bytes=lane)
+        == 7
+    )
+    # Lane scratch alone (keystream kernels: no counter block) is far too
+    # small to clamp a sane thread count.
+    assert _native.resolve_threads(64, lane_bytes=lane) == 64
+    # Degenerate oversized scratch still leaves one thread running.
+    assert (
+        _native.resolve_threads(64, counter_bytes=budget, lane_bytes=lane) == 1
+    )
+
+
+def test_cache_key_covers_compiler_and_flags():
+    """Same source, different toolchain identity or flags => new artefact."""
+    from repro.rc4 import _native
+
+    source = b"int main(void) { return 0; }\n"
+    base = _native._cache_key(source, "cc (Debian 12.2.0) 12.2.0")
+    assert base == _native._cache_key(source, "cc (Debian 12.2.0) 12.2.0")
+    assert base != _native._cache_key(source, "clang version 15.0.6")
+    assert base != _native._cache_key(source + b"\n", "cc (Debian 12.2.0) 12.2.0")
+    original = _native._CFLAGS
+    try:
+        _native._CFLAGS = (*original, "-DRC4_NO_SIMD")
+        assert base != _native._cache_key(source, "cc (Debian 12.2.0) 12.2.0")
+    finally:
+        _native._CFLAGS = original
+
+
+def test_pinned_compiler_does_not_reuse_stale_artifact(tmp_path):
+    """Two pinned compilers with distinct identities must produce two
+    distinct cache entries — the historical source-hash-only key silently
+    served compiler A's artefact to compiler B."""
+    real_cc = None
+    for candidate in ("cc", "gcc", "clang"):
+        probe = subprocess.run(
+            [candidate, "--version"], capture_output=True, text=True
+        )
+        if probe.returncode == 0:
+            real_cc = candidate
+            break
+    if real_cc is None:
+        pytest.skip("no C compiler on PATH")
+    wrappers = {}
+    for variant in ("alpha", "beta"):
+        wrapper = tmp_path / f"cc-{variant}"
+        wrapper.write_text(
+            "#!/bin/sh\n"
+            'if [ "$1" = "--version" ]; then\n'
+            f'  echo "fake-cc {variant} 1.0"\n'
+            "  exit 0\n"
+            "fi\n"
+            f'exec {real_cc} "$@"\n'
+        )
+        wrapper.chmod(0o755)
+        wrappers[variant] = wrapper
+    for variant in ("alpha", "beta"):
+        result = _probe({"REPRO_NATIVE_CC": str(wrappers[variant])}, tmp_path)
+        assert result["available"] is True, result["status"]
+        assert result["total"] == 8
+    cache = tmp_path / "cache" / "repro-rc4"
+    artifacts = sorted(cache.glob("librc4stats-*.so"))
+    assert len(artifacts) == 2, artifacts
+
+
 def test_numpy_kernels_ignore_threads(rng, monkeypatch):
     """The threads knob must be safe to pass when native is unavailable."""
     from repro.datasets.generate import single_byte_counts
@@ -136,3 +220,19 @@ def test_numpy_kernels_ignore_threads(rng, monkeypatch):
     a = single_byte_counts(keys, 5, threads=1)
     b = single_byte_counts(keys, 5, threads=7)
     assert np.array_equal(a, b)
+
+
+def test_numpy_kernels_ignore_simd(rng, monkeypatch):
+    """The simd knob must be safe to pass when native is unavailable, and
+    simd_available() must report False rather than raise."""
+    from repro.datasets.generate import single_byte_counts
+    from repro.rc4 import _native
+
+    monkeypatch.setattr(_native, "available", lambda: False)
+    monkeypatch.setattr(_native, "_load", lambda: None)
+    keys = rng.integers(0, 256, size=(8, 16), dtype=np.uint8)
+    a = single_byte_counts(keys, 5, simd=True)
+    b = single_byte_counts(keys, 5, simd=False)
+    assert np.array_equal(a, b)
+    assert _native.simd_available() is False
+    assert _native.simd_lanes() == 0
