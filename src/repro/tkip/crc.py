@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import struct
 
+import numpy as np
+
 _POLY = 0xEDB88320
 
 
@@ -49,6 +51,11 @@ class Crc32:
         return Crc32(self._crc)
 
     @property
+    def state(self) -> int:
+        """The raw rolling state (for :func:`crc32_rows`)."""
+        return self._crc
+
+    @property
     def value(self) -> int:
         """The finalised CRC-32 value."""
         return self._crc ^ 0xFFFFFFFF
@@ -56,6 +63,32 @@ class Crc32:
     def digest(self) -> bytes:
         """The 4-byte little-endian ICV encoding."""
         return struct.pack("<I", self.value)
+
+
+_TABLE_NP = np.array(_TABLE, dtype=np.uint32)
+
+
+def crc32_rows(state: int, rows: np.ndarray) -> np.ndarray:
+    """Extend one rolling CRC state by every row of a uint8 matrix.
+
+    Vectorized counterpart of ``Crc32(state).update(row)`` for a batch
+    of same-length suffixes: one table gather per byte *column* instead
+    of one Python loop iteration per byte.
+
+    Args:
+        state: the raw (non-finalised) rolling state shared by all rows,
+            e.g. ``Crc32().update(prefix).state``.
+        rows: uint8 (N, L) matrix of per-candidate suffixes.
+
+    Returns:
+        uint32 (N,) of raw rolling states; XOR with ``0xFFFFFFFF`` to
+        finalise.
+    """
+    rows = np.asarray(rows, dtype=np.uint8)
+    crc = np.full(rows.shape[0], state, dtype=np.uint32)
+    for col in range(rows.shape[1]):
+        crc = (crc >> np.uint32(8)) ^ _TABLE_NP[(crc ^ rows[:, col]) & 0xFF]
+    return crc
 
 
 def crc32(data: bytes) -> int:

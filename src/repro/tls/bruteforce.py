@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator
 
+import numpy as np
+
 from ..errors import AttackError
 
 if TYPE_CHECKING:
@@ -49,9 +51,13 @@ class CandidatePruner:
     charset: bytes
     pruned: int = field(default=0, init=False)
     _allowed: frozenset = field(init=False, repr=False)
+    _allowed_lut: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._allowed = frozenset(self.charset)
+        lut = np.zeros(256, dtype=bool)
+        lut[np.frombuffer(bytes(self.charset), dtype=np.uint8)] = True
+        self._allowed_lut = lut
 
     @classmethod
     def for_layout(cls, layout: "CookieLayout", charset: bytes) -> "CandidatePruner":
@@ -71,6 +77,22 @@ class CandidatePruner:
                 yield candidate
             else:
                 self.pruned += 1
+
+    def admit_mask(self, candidates: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`admits` over a uint8 (N, L) candidate matrix.
+
+        Does **not** update :attr:`pruned` — batched callers account for
+        drops themselves so early-stopping walks count exactly the
+        candidates a scalar :meth:`filter` stream would have consumed.
+        """
+        rows = np.asarray(candidates)
+        if rows.ndim != 2:
+            raise AttackError(
+                f"candidate matrix must be 2-D, got shape {rows.shape}"
+            )
+        if rows.shape[1] != self.cookie_len:
+            return np.zeros(rows.shape[0], dtype=bool)
+        return self._allowed_lut[rows].all(axis=1)
 
 
 @dataclass
@@ -115,6 +137,93 @@ class BruteForceOracle:
                 return bytes(candidate), self.attempts - start
         raise AttackError(
             f"brute force failed after {self.attempts - start} attempts"
+        )
+
+    def search_matrix(
+        self,
+        candidates: np.ndarray,
+        *,
+        pruner: "CandidatePruner | None" = None,
+        budget: int | None = None,
+        block_size: int = 1 << 16,
+    ) -> tuple[bytes, int, int]:
+        """Batched :meth:`search` over a uint8 (N, L) candidate matrix.
+
+        Tests candidates block-by-block with one vectorized comparison
+        per block instead of one Python call per candidate, reproducing
+        the exact accounting of ``search(pruner.filter(...))``: the
+        same ``attempts``, the same ``pruner.pruned`` (including the
+        drops a scalar stream consumes while pulling the first
+        over-budget candidate), and the same :class:`AttackError`
+        messages.
+
+        Args:
+            candidates: uint8 (N, L) matrix, rows in decreasing
+                likelihood.
+            pruner: optional layout-aware filter; inadmissible rows are
+                skipped and counted in ``pruner.pruned``.
+            budget: optional cap on attempts.
+
+        Returns:
+            ``(cookie, attempts_used, row_index)`` where ``row_index``
+            is the hit's position in the full matrix (its rank).
+
+        Raises:
+            AttackError: if the budget or matrix is exhausted without a
+                hit.
+        """
+        rows_all = np.asarray(candidates)
+        if rows_all.ndim != 2:
+            raise AttackError(
+                f"candidate matrix must be 2-D, got shape {rows_all.shape}"
+            )
+        width = rows_all.shape[1]
+        secret_row = (
+            np.frombuffer(self.secret, dtype=np.uint8)
+            if width == len(self.secret)
+            else None
+        )
+        admitted_before = 0
+        for start in range(0, rows_all.shape[0], block_size):
+            block = rows_all[start : start + block_size]
+            if pruner is not None:
+                admit = pruner.admit_mask(block)
+            else:
+                admit = np.ones(block.shape[0], dtype=bool)
+            adm_cum = np.cumsum(admit)
+            in_block = int(adm_cum[-1]) if block.shape[0] else 0
+            remaining = (
+                None if budget is None else max(budget - admitted_before, 0)
+            )
+            if secret_row is not None:
+                hits = np.nonzero((block == secret_row).all(axis=1) & admit)[0]
+            else:
+                hits = np.empty(0, dtype=np.intp)
+            if hits.size:
+                hit = int(hits[0])
+                hit_admitted = int(adm_cum[hit])
+                if remaining is None or hit_admitted <= remaining:
+                    if pruner is not None:
+                        pruner.pruned += hit - (hit_admitted - 1)
+                    attempts_used = admitted_before + hit_admitted
+                    self.attempts += attempts_used
+                    return block[hit].tobytes(), attempts_used, start + hit
+            if remaining is not None and in_block > remaining:
+                # The scalar stream pulls the first over-budget
+                # candidate before breaking, consuming the drops in
+                # front of it.
+                over = int(np.searchsorted(adm_cum, remaining + 1))
+                if pruner is not None:
+                    pruner.pruned += over - remaining
+                tested = admitted_before + remaining
+                self.attempts += tested
+                raise AttackError(f"brute force failed after {tested} attempts")
+            if pruner is not None:
+                pruner.pruned += block.shape[0] - in_block
+            admitted_before += in_block
+        self.attempts += admitted_before
+        raise AttackError(
+            f"brute force failed after {admitted_before} attempts"
         )
 
     def wall_clock_seconds(self, attempts: int | None = None) -> float:

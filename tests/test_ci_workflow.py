@@ -172,6 +172,30 @@ def test_verify_job_smokes_the_campaign_simulator(workflow):
     )
 
 
+def test_verify_job_smokes_recovery_at_scale(workflow):
+    """The verify job must run the candidate-recovery engine at a
+    paper-scale list size (attack-https with num_candidates=65536) on
+    both REPRO_NATIVE legs, plus the ordering spot-check that rescores
+    recovered paths against the transition likelihoods."""
+    job = workflow["jobs"]["verify"]
+    assert sorted(job["strategy"]["matrix"]["native"]) == ["0", "1"]
+    runs = _run_lines(job)
+    recovery_steps = [
+        s for s in _steps(job) if "num_candidates=65536" in s.get("run", "")
+    ]
+    assert recovery_steps, (
+        "verify job must smoke attack-https at num_candidates=65536"
+    )
+    step = recovery_steps[0]["run"]
+    assert "attack-https" in step
+    assert "spot_check_recovery" in runs, (
+        "verify job must run tests/spot_check_recovery.py"
+    )
+    assert (
+        Path(__file__).resolve().parent / "spot_check_recovery.py"
+    ).exists(), "CI references tests/spot_check_recovery.py"
+
+
 def test_verify_job_has_soft_fail_regression_step(workflow):
     job = workflow["jobs"]["verify"]
     check_steps = [
